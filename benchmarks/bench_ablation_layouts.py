@@ -1,0 +1,78 @@
+"""Ablation A4 — physical layout trade-offs of the adaptive store (5.1/5.2).
+
+The paper's adaptive store may keep any fragment in row, column or PAX
+format, with "multiple different execution strategies" on top.  This bench
+quantifies the trade-off the adaptive kernel would navigate, on the two
+canonical access patterns:
+
+* **column scan** (aggregate one attribute) — DSM's home turf;
+* **tuple reconstruction** (fetch 2% of rows, all attributes) — NSM's.
+
+PAX sits between the two, by design.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.flatfile.schema import DataType
+from repro.storage.formats import build_layout
+
+NROWS = 200_000
+NCOLS = 8
+
+
+def _table():
+    rng = np.random.default_rng(41)
+    names = [f"a{i}" for i in range(NCOLS)]
+    dtypes = [DataType.INT64] * NCOLS
+    arrays = [rng.integers(0, 10**6, NROWS, dtype=np.int64) for _ in range(NCOLS)]
+    return names, dtypes, arrays
+
+
+def _scan_seconds(layout, repeats=10) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        layout.column(3).sum()
+    return (time.perf_counter() - start) / repeats
+
+
+def _reconstruct_seconds(layout, rows, repeats=10) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        layout.take(rows)
+    return (time.perf_counter() - start) / repeats
+
+
+@pytest.mark.benchmark(group="ablation-layouts")
+def test_layout_tradeoffs(benchmark):
+    names, dtypes, arrays = _table()
+    rng = np.random.default_rng(43)
+    rows = np.sort(rng.choice(NROWS, NROWS // 50, replace=False))
+
+    results = {}
+    for kind in ("column", "row", "pax"):
+        layout = build_layout(kind, names, dtypes, arrays)
+        results[kind] = (
+            _scan_seconds(layout),
+            _reconstruct_seconds(layout, rows),
+        )
+
+    print(f"\nAblation A4: storage layouts ({NROWS} rows x {NCOLS} int columns)")
+    print(f"{'layout':>8}  {'column scan':>12}  {'reconstruct 2%':>15}")
+    for kind, (scan, rec) in results.items():
+        print(f"{kind:>8}  {scan * 1e3:>10.3f}ms  {rec * 1e3:>13.3f}ms")
+
+    # DSM scans beat NSM scans (NSM pays a gather per column vector).
+    assert results["column"][0] < results["row"][0]
+    # PAX scans are also far cheaper than NSM's.
+    assert results["pax"][0] < results["row"][0]
+
+    benchmark.pedantic(
+        lambda: _scan_seconds(build_layout("column", names, dtypes, arrays)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,53 @@
+"""Ablation A1 — the positional map (paper section 4.1.5, "Learning").
+
+Not plotted in the paper, but called out as the learning mechanism over
+flat files (and noted in the reproduction brief as rarely implemented).
+Workload: on a wide table, first load an early/middle column (teaching the
+map row starts and field offsets), then load the *last* columns.  With the
+map, the second load jumps from the learned anchor instead of tokenizing
+every preceding field of every row.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import FIG4_ROWS, fresh_engine
+
+WARMUP = "select sum(a10) from r"
+TARGET = "select sum(a11), avg(a12) from r where a11 > 5 and a11 < 100"
+
+
+def _second_load(fig4_file, use_map: bool) -> tuple[float, int]:
+    engine = fresh_engine("column_loads", fig4_file, use_positional_map=use_map)
+    engine.query(WARMUP)
+    start = time.perf_counter()
+    engine.query(TARGET)
+    elapsed = time.perf_counter() - start
+    fields = engine.stats.last().tokenizer.fields_tokenized
+    engine.close()
+    return elapsed, fields
+
+
+@pytest.mark.benchmark(group="ablation-posmap")
+def test_positional_map_ablation(benchmark, fig4_file):
+    with_map, fields_with = _second_load(fig4_file, True)
+    without_map, fields_without = _second_load(fig4_file, False)
+
+    print("\nAblation A1: positional map (load a11,a12 after learning a1..a10)")
+    print(f"{'variant':>14}  {'seconds':>9}  {'fields tokenized':>17}")
+    print(f"{'with map':>14}  {with_map:>9.4f}  {fields_with:>17}")
+    print(f"{'without map':>14}  {without_map:>9.4f}  {fields_without:>17}")
+    print(f"speedup: {without_map / with_map:.2f}x, "
+          f"tokenization saved: {1 - fields_with / fields_without:.0%}")
+
+    # The map lets the load skip the 10 learned columns per row: the blind
+    # load tokenizes ~12 fields/row, the assisted one ~3 (anchor + 2).
+    assert fields_with < 0.5 * fields_without
+    assert with_map < without_map
+
+    benchmark.pedantic(
+        lambda: _second_load(fig4_file, True), rounds=1, iterations=1
+    )

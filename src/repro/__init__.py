@@ -1,0 +1,66 @@
+"""repro — a reproduction of the NoDB vision paper (CIDR 2011).
+
+"Here are my Data Files.  Here are my Queries.  Where are my Results?"
+by Idreos, Alagiannis, Johnson and Ailamaki.
+
+Public API
+----------
+
+:class:`NoDBEngine`
+    The adaptive engine: attach raw CSV files, fire SQL immediately; data
+    is loaded selectively, adaptively and incrementally as queries demand.
+:class:`EngineConfig`
+    Engine knobs: loading policy, memory budget, tokenizer toggles.
+:class:`AwkEngine` / :class:`CSVEngine`
+    The paper's baselines (Unix scripting; MySQL CSV engine).
+:mod:`repro.workload`
+    Dataset and query-sequence generators for the paper's experiments.
+
+Quickstart::
+
+    from repro import NoDBEngine
+
+    engine = NoDBEngine()
+    engine.attach("r", "mydata.csv")
+    print(engine.query("select sum(a1), avg(a2) from r where a1 > 100 and a1 < 900"))
+"""
+
+from repro.baselines import AwkEngine, CSVEngine
+from repro.config import POLICIES, EngineConfig
+from repro.core import AutoTuningEngine, NoDBEngine
+from repro.errors import (
+    BindError,
+    BudgetExceededError,
+    CatalogError,
+    ExecutionError,
+    FlatFileError,
+    ReproError,
+    SchemaInferenceError,
+    SQLSyntaxError,
+    StaleFileError,
+    UnsupportedSQLError,
+)
+from repro.result import QueryResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoTuningEngine",
+    "AwkEngine",
+    "BindError",
+    "BudgetExceededError",
+    "CSVEngine",
+    "CatalogError",
+    "EngineConfig",
+    "ExecutionError",
+    "FlatFileError",
+    "NoDBEngine",
+    "POLICIES",
+    "QueryResult",
+    "ReproError",
+    "SQLSyntaxError",
+    "SchemaInferenceError",
+    "StaleFileError",
+    "UnsupportedSQLError",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""The MySQL-CSV-engine baseline.
+
+"It provides the flexibility of querying a flat file with SQL but it does
+not provide the DBMS benefits as ... it needs to read the data again and
+again for every new query, i.e., it does not load the data in any way,
+optimize the layout, etc." (section 3.2)
+
+That behaviour is exactly the ``external`` loading policy, so this class is
+a deliberately thin wrapper around :class:`~repro.core.engine.NoDBEngine`
+with that policy pinned: whole-row tokenization, per-query conversion of
+the needed attributes, zero caching, flat cost profile.  Keeping it on the
+shared substrate guarantees the Figure 3 comparison measures policy
+differences, not implementation differences.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.config import EngineConfig
+from repro.core.engine import NoDBEngine
+from repro.result import QueryResult
+
+
+class CSVEngine:
+    """SQL over flat files with no loading and no memory of past queries."""
+
+    def __init__(self, io_bandwidth_bytes_per_sec: float | None = None) -> None:
+        self._engine = NoDBEngine(
+            EngineConfig(
+                policy="external",
+                io_bandwidth_bytes_per_sec=io_bandwidth_bytes_per_sec,
+            )
+        )
+
+    def attach(self, name: str, path: Path | str, delimiter: str = ",") -> None:
+        self._engine.attach(name, path, delimiter=delimiter)
+
+    def query(self, sql: str) -> QueryResult:
+        return self._engine.query(sql)
+
+    @property
+    def stats(self):
+        return self._engine.stats
+
+    def close(self) -> None:
+        self._engine.close()

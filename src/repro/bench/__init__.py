@@ -1,0 +1,12 @@
+"""Bench harness: per-query timing of policy sequences + paper-style output."""
+
+from repro.bench.harness import Series, run_sequence, time_callable
+from repro.bench.report import format_series_table, print_series_table
+
+__all__ = [
+    "Series",
+    "format_series_table",
+    "print_series_table",
+    "run_sequence",
+    "time_callable",
+]

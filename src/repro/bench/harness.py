@@ -1,0 +1,70 @@
+"""Timing harness for query sequences.
+
+The paper's figures plot *per-query* response time over a query sequence
+(not a steady-state mean), so the central helper here is
+:func:`run_sequence`: run a list of SQL strings against a fresh engine and
+record each query's wall-clock time plus the engine's own work counters.
+``pytest-benchmark`` wraps whole sequences in the bench files; within a
+sequence this harness provides the per-query resolution the figures need.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+@dataclass
+class Series:
+    """One curve of a figure: a label and per-query measurements."""
+
+    label: str
+    times_s: list[float] = field(default_factory=list)
+    bytes_read: list[int] = field(default_factory=list)
+    values_parsed: list[int] = field(default_factory=list)
+    from_store: list[bool] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.times_s)
+
+    @property
+    def first_query_s(self) -> float:
+        return self.times_s[0] if self.times_s else float("nan")
+
+    def steady_state_s(self, skip: int = 1) -> float:
+        """Mean time of queries after the first ``skip`` (warm behaviour)."""
+        tail = self.times_s[skip:]
+        return sum(tail) / len(tail) if tail else float("nan")
+
+
+def run_sequence(label: str, engine, sqls: Sequence[str]) -> Series:
+    """Run ``sqls`` in order on ``engine``; record per-query measurements.
+
+    ``engine`` needs ``query(sql)``; if it also exposes ``stats`` (the
+    library's engines do), per-query byte/parse counters are captured too.
+    """
+    series = Series(label)
+    for sql in sqls:
+        start = time.perf_counter()
+        engine.query(sql)
+        series.times_s.append(time.perf_counter() - start)
+        stats = getattr(engine, "stats", None)
+        if stats is not None and stats.queries:
+            q = stats.queries[-1]
+            series.bytes_read.append(q.file_bytes_read)
+            series.values_parsed.append(q.parse.values_parsed)
+            series.from_store.append(q.served_from_store)
+        else:
+            series.bytes_read.append(0)
+            series.values_parsed.append(0)
+            series.from_store.append(False)
+    return series
+
+
+def time_callable(fn: Callable[[], object]) -> float:
+    """Wall-clock one call (used for load-cost style measurements)."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

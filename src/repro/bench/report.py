@@ -1,0 +1,72 @@
+"""Paper-style series tables.
+
+The benches print the same rows/series the paper's figures plot, aligned
+for terminal reading and optionally as Markdown for EXPERIMENTS.md.  Times
+are printed in milliseconds: the reproduction's datasets are scaled down
+(see DESIGN.md), so absolute magnitudes are not comparable to the paper's
+seconds — shapes and ratios are what the tables are for.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import Series
+
+
+def format_series_table(
+    title: str,
+    series: Sequence[Series],
+    x_label: str = "query",
+    markdown: bool = False,
+) -> str:
+    """Render per-query times of several series side by side."""
+    if not series:
+        return f"{title}\n(no data)"
+    npoints = max(len(s.times_s) for s in series)
+    header = [x_label] + [s.label for s in series]
+    rows = []
+    for i in range(npoints):
+        row = [str(i + 1)]
+        for s in series:
+            if i < len(s.times_s):
+                mark = "*" if i < len(s.from_store) and s.from_store[i] else ""
+                row.append(f"{s.times_s[i] * 1e3:.2f}{mark}")
+            else:
+                row.append("-")
+        rows.append(row)
+    totals = ["total"] + [f"{s.total_s * 1e3:.2f}" for s in series]
+    rows.append(totals)
+    if markdown:
+        lines = [f"### {title}", ""]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        for row in rows:
+            lines.append("| " + " | ".join(row) + " |")
+        lines.append("")
+        lines.append("(*) served from the adaptive store; times in ms")
+        return "\n".join(lines)
+    widths = [
+        max(len(header[c]), max(len(r[c]) for r in rows)) for c in range(len(header))
+    ]
+    out = [title, ""]
+    out.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        out.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    out.append("(*) served from the adaptive store; times in ms")
+    return "\n".join(out)
+
+
+def print_series_table(
+    title: str, series: Sequence[Series], x_label: str = "query"
+) -> None:
+    print()
+    print(format_series_table(title, series, x_label=x_label))
+
+
+def format_ratio_line(name: str, numerator: float, denominator: float) -> str:
+    """One-line ratio summary, NaN-safe."""
+    if denominator <= 0:
+        return f"{name}: n/a"
+    return f"{name}: {numerator / denominator:.2f}x"

@@ -1,0 +1,172 @@
+"""Command-line interface: the Unix-tool face of the vision.
+
+The paper's pitch is "a hybrid experience between using a Unix tool and a
+DBMS".  This CLI is that experience verbatim — point it at files, get
+results, no ceremony::
+
+    # one-shot: query a file directly (the file becomes table `t`,
+    # or `t1..tN` when several files are given)
+    python -m repro "select sum(a1), avg(a2) from t where a1 > 10" data.csv
+
+    # pick a loading policy / auto-tuning / stats
+    python -m repro --policy splitfiles --stats "select ..." data.csv
+    python -m repro --auto "select ..." data.csv
+
+    # interactive shell over a set of files
+    python -m repro --shell data.csv other.csv
+
+Exit status: 0 on success, 1 on SQL/data errors (message on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.config import POLICIES, EngineConfig
+from repro.core.autotuner import AutoTuningEngine
+from repro.core.engine import NoDBEngine
+from repro.errors import ReproError
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query raw CSV files with SQL, instantly (NoDB reproduction).",
+    )
+    parser.add_argument(
+        "sql",
+        nargs="?",
+        help="SQL to run (omit with --shell). Tables: t (one file) or t1..tN.",
+    )
+    parser.add_argument("files", nargs="*", type=Path, help="raw data files")
+    parser.add_argument(
+        "--policy",
+        choices=POLICIES,
+        default="column_loads",
+        help="loading policy (default: column_loads)",
+    )
+    parser.add_argument(
+        "--auto",
+        action="store_true",
+        help="auto-tune the policy from the robustness monitor's advice",
+    )
+    parser.add_argument(
+        "--delimiter", default=",", help="field delimiter (default: ',')"
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-query work counters after each result",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the load plan instead of executing",
+    )
+    parser.add_argument(
+        "--shell", action="store_true", help="interactive SQL shell over the files"
+    )
+    return parser
+
+
+def table_names(files: list[Path]) -> list[str]:
+    if len(files) == 1:
+        return ["t"]
+    return [f"t{i + 1}" for i in range(len(files))]
+
+
+def _print_stats(engine: NoDBEngine, out) -> None:
+    q = engine.stats.last()
+    source = "adaptive store" if q.served_from_store else "flat file(s)"
+    print(
+        f"-- {q.elapsed_s * 1e3:.1f} ms | {source} | "
+        f"bytes read {q.file_bytes_read:,} | "
+        f"values parsed {q.parse.values_parsed:,} | "
+        f"rows loaded {q.rows_loaded:,}",
+        file=out,
+    )
+
+
+def run_shell(engine, raw_engine: NoDBEngine, show_stats: bool, stdin, stdout) -> int:
+    print("repro shell — end statements with Enter; \\q quits.", file=stdout)
+    print(f"tables: {', '.join(raw_engine.tables())}", file=stdout)
+    for line in stdin:
+        sql = line.strip()
+        if not sql:
+            continue
+        if sql in ("\\q", "exit", "quit"):
+            break
+        try:
+            result = engine.query(sql)
+            print(result, file=stdout)
+            if show_stats:
+                _print_stats(raw_engine, stdout)
+        except ReproError as exc:
+            print(f"error: {exc}", file=stdout)
+    return 0
+
+
+def main(argv: list[str] | None = None, stdin=None, stdout=None, stderr=None) -> int:
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    stderr = stderr if stderr is not None else sys.stderr
+    args = build_arg_parser().parse_args(argv)
+
+    # `sql files...` vs `--shell files...`: with --shell the positional
+    # `sql` slot actually holds the first file.
+    files = list(args.files)
+    sql = args.sql
+    if args.shell and sql is not None:
+        files.insert(0, Path(sql))
+        sql = None
+    if not files:
+        print("error: no data files given", file=stderr)
+        return 1
+    if sql is None and not args.shell:
+        print("error: no SQL given (or use --shell)", file=stderr)
+        return 1
+
+    config = EngineConfig(policy=args.policy)
+    if args.auto:
+        engine = AutoTuningEngine(config)
+        raw_engine = engine.engine
+    else:
+        engine = NoDBEngine(config)
+        raw_engine = engine
+
+    try:
+        for name, path in zip(table_names(files), files):
+            raw_engine.attach(name, path, delimiter=args.delimiter)
+    except ReproError as exc:
+        print(f"error: {exc}", file=stderr)
+        return 1
+
+    try:
+        if args.shell:
+            return run_shell(engine, raw_engine, args.stats, stdin, stdout)
+        if args.explain:
+            print(raw_engine.explain(sql), file=stdout)
+            return 0
+        result = engine.query(sql)
+        print(result, file=stdout)
+        if args.stats:
+            _print_stats(raw_engine, stdout)
+        if args.auto and getattr(engine, "switches", None):
+            for switch in engine.switches:
+                print(
+                    f"-- auto-tuner: switched {switch.from_policy} -> "
+                    f"{switch.to_policy} ({switch.reason})",
+                    file=stdout,
+                )
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=stderr)
+        return 1
+    finally:
+        raw_engine.close()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

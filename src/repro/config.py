@@ -1,0 +1,111 @@
+"""Engine configuration.
+
+:class:`EngineConfig` gathers every knob of the adaptive engine in one
+immutable-ish dataclass so that experiments can be described declaratively:
+the loading policy name, the adaptive-store memory budget, tokenizer
+behaviour toggles (the ablation switches of DESIGN.md) and the split-file
+working directory.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Loading policies understood by the engine.  Mirrors the curves of the
+#: paper's figures: ``fullload`` is plain MonetDB, ``external`` the MySQL
+#: CSV engine, and the rest are the adaptive operators of sections 3-4.
+POLICIES = (
+    "fullload",
+    "external",
+    "column_loads",
+    "partial_v1",
+    "partial_v2",
+    "splitfiles",
+)
+
+
+@dataclass
+class EngineConfig:
+    """All tunables of :class:`repro.core.engine.NoDBEngine`.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`POLICIES`.  Selects how (and whether) raw data is
+        brought into the adaptive store during query processing.
+    memory_budget_bytes:
+        Upper bound on resident adaptive-store bytes.  ``None`` means
+        unbounded.  When the budget would be exceeded, least-recently-used
+        fragments are evicted (paper section 5.1.3, "Life-time").
+    use_positional_map:
+        Learn byte offsets of rows/fields while tokenizing and use them to
+        jump directly to needed attributes in later loads (section 4.1.5).
+    tokenizer_early_abort:
+        Stop tokenizing a row once the last needed column has been seen
+        (section 3.2).
+    predicate_pushdown:
+        Apply WHERE predicates while parsing, abandoning a row as soon as
+        one conjunct fails (the "Partial Loads" trick of section 3.2).
+    splitfile_dir:
+        Where split (cracked) per-column files are written.  Defaults to a
+        per-engine temporary directory.
+    auto_invalidate:
+        Detect edits to attached flat files (mtime/size fingerprints) and
+        transparently drop derived data (section 5.4's "simple solution").
+    io_bandwidth_bytes_per_sec:
+        Optional simulated I/O throttle.  When set, every read of ``n``
+        bytes from a flat file additionally sleeps ``n / bandwidth``
+        seconds.  Used by the Figure 1a bench to recreate the memory-wall
+        knee of loading cost without a real 1-billion-tuple table.
+    eviction_policy:
+        ``"lru"`` (default) or ``"fifo"``; how victims are chosen when the
+        memory budget is exceeded.
+    persist_loads:
+        Write fully loaded columns to the binary store (the engine's
+        internal on-disk format).  This is part of what a classic load
+        costs — MonetDB writes BATs — and what makes a later *cold* engine
+        start cheap: it restores from binary instead of re-parsing CSV.
+    binary_store_dir:
+        Where binary columns live.  Required when ``persist_loads`` is on;
+        point a fresh engine at an existing directory for a cold run.
+    binary_write_bandwidth / binary_read_bandwidth:
+        Optional simulated disk bandwidth for the binary store
+        (bytes/second), used by the Figure 1a memory-wall simulation.
+    """
+
+    policy: str = "column_loads"
+    memory_budget_bytes: int | None = None
+    use_positional_map: bool = True
+    tokenizer_early_abort: bool = True
+    predicate_pushdown: bool = True
+    splitfile_dir: Path | None = None
+    auto_invalidate: bool = True
+    io_bandwidth_bytes_per_sec: float | None = None
+    eviction_policy: str = "lru"
+    persist_loads: bool = False
+    binary_store_dir: Path | None = None
+    binary_write_bandwidth: float | None = None
+    binary_read_bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}; expected one of {POLICIES}")
+        if self.eviction_policy not in ("lru", "fifo"):
+            raise ValueError(f"unknown eviction policy {self.eviction_policy!r}")
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive or None")
+        if self.splitfile_dir is not None:
+            self.splitfile_dir = Path(self.splitfile_dir)
+        if self.persist_loads and self.binary_store_dir is None:
+            raise ValueError("persist_loads requires binary_store_dir")
+        if self.binary_store_dir is not None:
+            self.binary_store_dir = Path(self.binary_store_dir)
+
+    def resolve_splitfile_dir(self) -> Path:
+        """Return the split-file directory, creating a temp dir on demand."""
+        if self.splitfile_dir is None:
+            self.splitfile_dir = Path(tempfile.mkdtemp(prefix="repro-splitfiles-"))
+        self.splitfile_dir.mkdir(parents=True, exist_ok=True)
+        return self.splitfile_dir

@@ -1,0 +1,105 @@
+"""Auto-tuning on top of the robustness monitor (paper section 5.3).
+
+The paper's section 5.3 asks "how the system reaches a good set-up as well
+[as] how it adapts when the requirements change again", with adaptation
+triggered "purely [by] the query needs".  :class:`AutoTuningEngine` is the
+closed loop over the pieces this repository already has:
+
+* the :class:`~repro.core.monitor.RobustnessMonitor` watches per-query
+  statistics and produces :class:`~repro.core.monitor.PolicyAdvice`;
+* :meth:`NoDBEngine.set_policy` applies a switch in place, keeping the
+  adaptive store.
+
+After every query the tuner consults the monitor and applies its advice —
+with a cooldown so one noisy window cannot cause flapping, and a switch
+log so operators (and tests) can audit every decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.config import EngineConfig
+from repro.core.engine import NoDBEngine
+from repro.result import QueryResult
+
+
+@dataclass(frozen=True)
+class PolicySwitch:
+    """One applied adaptation, for the audit log."""
+
+    query_index: int
+    from_policy: str
+    to_policy: str
+    reason: str
+
+
+@dataclass
+class AutoTuningEngine:
+    """A NoDBEngine that follows its own robustness advice.
+
+    Parameters
+    ----------
+    config:
+        Initial engine configuration (initial policy included).
+    cooldown:
+        Minimum number of queries between applied switches; also the
+        number of queries the monitor window needs to refill with
+        post-switch behaviour before being trusted again.
+    """
+
+    config: EngineConfig = field(default_factory=EngineConfig)
+    cooldown: int = 8
+    engine: NoDBEngine = field(init=False)
+    switches: list[PolicySwitch] = field(default_factory=list)
+    _queries_run: int = 0
+    # Starts at zero so the first switch is also gated by the cooldown:
+    # the tuner must observe at least `cooldown` queries before acting.
+    _last_switch_at: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.engine = NoDBEngine(self.config)
+
+    # ------------------------------------------------------------- facade
+
+    def attach(self, name: str, path: Path | str, delimiter: str = ",") -> None:
+        self.engine.attach(name, path, delimiter=delimiter)
+
+    @property
+    def policy(self) -> str:
+        return self.engine.config.policy
+
+    @property
+    def stats(self):
+        return self.engine.stats
+
+    def query(self, sql: str) -> QueryResult:
+        """Run one query, then adapt if the monitor says so."""
+        result = self.engine.query(sql)
+        self._queries_run += 1
+        if self._queries_run - self._last_switch_at >= self.cooldown:
+            advice = self.engine.monitor.advise()
+            if advice is not None and advice.switch_to != self.policy:
+                self.switches.append(
+                    PolicySwitch(
+                        query_index=self._queries_run,
+                        from_policy=self.policy,
+                        to_policy=advice.switch_to,
+                        reason=advice.reason,
+                    )
+                )
+                self.engine.set_policy(advice.switch_to)
+                # Let the window refill with post-switch observations.
+                self.engine.monitor.history.clear()
+                self._last_switch_at = self._queries_run
+        return result
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "AutoTuningEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,316 @@
+"""NoDBEngine: "here are my data files, here are my queries".
+
+The facade the whole repository exists for::
+
+    from repro import NoDBEngine
+
+    engine = NoDBEngine()            # zero initialization
+    engine.attach("r", "data.csv")   # just a pointer to the raw file
+    result = engine.query(
+        "select sum(a1), avg(a2) from r where a1 > 10 and a1 < 500"
+    )
+
+Attaching performs no loading.  Every query triggers exactly as much
+tokenization, parsing and storing as its loading policy decides, the
+adaptive store grows (and shrinks, under a memory budget) as a side effect,
+and edits to the underlying flat file invalidate derived state
+transparently (section 5.4's simple strategy).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.config import EngineConfig
+from repro.core.monitor import RobustnessMonitor
+from repro.core.policies import LoadContext, TableView, make_policy
+from repro.core.splitfile import SplitFileCatalog, cleanup_directory
+from repro.core.statistics import EngineStatistics, QueryStats, Stopwatch
+from repro.errors import StaleFileError
+from repro.result import QueryResult
+from repro.sql.binder import BoundQuery, bind
+from repro.sql.parser import parse_sql
+from repro.execution.executor import execute_bound_query
+from repro.storage.binarystore import BinaryStore
+from repro.storage.catalog import Catalog, TableEntry
+from repro.storage.memory import MemoryManager
+
+
+class NoDBEngine:
+    """Adaptive in-situ query engine over raw flat files."""
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig()
+        self.catalog = Catalog()
+        self.policy = make_policy(self.config.policy)
+        self.memory = MemoryManager(
+            budget_bytes=self.config.memory_budget_bytes,
+            policy=self.config.eviction_policy,
+        )
+        self.stats = EngineStatistics()
+        self.monitor = RobustnessMonitor(policy=self.config.policy)
+        self._splits: dict[str, SplitFileCatalog] = {}
+        self._owns_split_dir = self.config.splitfile_dir is None
+        # Section 5.4's "simple solution" to concurrency: loading and
+        # store mutation are serialized per engine; query execution over
+        # immutable NumPy fragments needs no further locking.  Coarse, but
+        # exactly the simplicity/complexity trade the paper recommends as
+        # the starting point.
+        self._lock = threading.RLock()
+        self.binary_store: BinaryStore | None = None
+        if self.config.binary_store_dir is not None:
+            self.binary_store = BinaryStore(
+                self.config.binary_store_dir,
+                write_bandwidth_bytes_per_sec=self.config.binary_write_bandwidth,
+                read_bandwidth_bytes_per_sec=self.config.binary_read_bandwidth,
+            )
+
+    # ----------------------------------------------------------- attaching
+
+    def attach(self, name: str, path: Path | str, delimiter: str = ",") -> None:
+        """Link a raw file as a queryable table.  No data is read."""
+        self.catalog.attach(
+            name,
+            path,
+            delimiter=delimiter,
+            bandwidth_bytes_per_sec=self.config.io_bandwidth_bytes_per_sec,
+        )
+
+    def detach(self, name: str) -> None:
+        entry = self.catalog.get(name)
+        self._invalidate_entry(entry)
+        self.catalog.detach(name)
+
+    def tables(self) -> list[str]:
+        return self.catalog.names()
+
+    def clear_cache(self, table: str | None = None) -> None:
+        """Drop loaded data (and split files) without detaching.
+
+        The paper's lifetime principle (section 5.1.3): anything in the
+        adaptive store "may be thrown away at any time — the only cost is
+        that of having to reload".  ``table=None`` clears every attached
+        table; otherwise just the named one.  Raw files are untouched.
+        """
+        with self._lock:
+            entries = (
+                [self.catalog.get(table)]
+                if table is not None
+                else list(self.catalog.entries.values())
+            )
+            for entry in entries:
+                self._invalidate_entry(entry)
+
+    def set_policy(self, policy_name: str) -> None:
+        """Switch loading policy in place (adaptation trigger, section 5.3).
+
+        The adaptive store survives the switch: fully loaded columns keep
+        serving any policy; partial fragments keep their certificates and
+        are reused where the new policy understands them (partial_v2) or
+        simply superseded by fuller loads (column/split/full).
+        """
+        with self._lock:
+            if policy_name == self.config.policy:
+                return
+            self.policy = make_policy(policy_name)  # validates the name
+            self.config.policy = policy_name
+            self.monitor.policy = policy_name
+
+    def schema_of(self, name: str) -> list[tuple[str, str]]:
+        """Column names/types of an attached table (triggers inference)."""
+        schema = self.catalog.get(name).ensure_schema()
+        return [(c.name, c.dtype.value) for c in schema]
+
+    # ------------------------------------------------------------ querying
+
+    def query(self, sql: str) -> QueryResult:
+        """Parse, bind, adaptively load, and execute one SELECT.
+
+        Thread-safe: concurrent callers are serialized through the
+        loading/metadata phase (see ``_lock``); execution runs on the
+        immutable column snapshots captured in the views.
+        """
+        qstats = QueryStats(sql=sql, policy=self.config.policy)
+        watch = Stopwatch()
+        total = Stopwatch()
+
+        with self._lock:
+            bound = self._bind(sql)
+            entries = {b: self.catalog.get(t) for b, t in bound.tables.items()}
+            for entry in entries.values():
+                self._check_stale(entry)
+            qstats.tables = sorted({e.name for e in entries.values()})
+
+            bytes_before, reads_before = self._file_io_totals(entries.values())
+            watch.lap()
+            views = self._provide_views(bound, entries, qstats)
+            qstats.load_s = watch.lap()
+
+        result = execute_bound_query(
+            bound,
+            get_column=lambda b, c: views[b].get_column(c),
+            nrows_of=lambda b: views[b].nrows,
+        )
+        qstats.execute_s = watch.lap()
+
+        bytes_after, reads_after = self._file_io_totals(entries.values())
+        qstats.file_bytes_read = bytes_after - bytes_before
+        qstats.file_reads = reads_after - reads_before
+        qstats.served_from_store = all(v.served_from_store for v in views.values())
+        qstats.went_to_file = any(v.went_to_file for v in views.values())
+        qstats.result_rows = result.num_rows
+        qstats.elapsed_s = total.lap()
+        self.stats.record(qstats)
+        self.monitor.observe(qstats, self.memory.stats.evictions)
+        result.stats = {
+            "policy": self.config.policy,
+            "elapsed_s": qstats.elapsed_s,
+            "served_from_store": qstats.served_from_store,
+            "file_bytes_read": qstats.file_bytes_read,
+        }
+        return result
+
+    def explain(self, sql: str) -> str:
+        """Describe what the query needs and what the store already has."""
+        bound = self._bind(sql)
+        lines = [f"policy: {self.config.policy}"]
+        for binding, table_name in bound.tables.items():
+            entry = self.catalog.get(table_name)
+            needed = bound.needed_columns[binding]
+            condition = bound.conditions[binding]
+            lines.append(f"table {table_name} (as {binding}):")
+            lines.append(f"  needed columns: {', '.join(needed)}")
+            lines.append(f"  range condition: {condition!r}")
+            table = entry.table
+            if table is None:
+                lines.append("  store: empty (nothing loaded yet)")
+                continue
+            for name in needed:
+                pc = table.columns.get(name.lower())
+                if pc is None or pc.loaded_count == 0:
+                    state = "not loaded"
+                elif pc.is_fully_loaded:
+                    state = "fully loaded"
+                else:
+                    state = (
+                        f"partially loaded ({pc.loaded_count}/{table.nrows} rows, "
+                        f"{len(pc.certificates)} certificates)"
+                    )
+                lines.append(f"  store[{name}]: {state}")
+        if bound.has_residual_predicate:
+            lines.append("residual predicates present (evaluated post-load)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------ internals
+
+    def _bind(self, sql: str) -> BoundQuery:
+        stmt = parse_sql(sql)
+        table_names = []
+        if stmt.table is not None:
+            table_names.append(stmt.table.name)
+        table_names.extend(j.table.name for j in stmt.joins)
+        schemas = {}
+        for name in table_names:
+            entry = self.catalog.get(name)
+            schemas[name] = entry.ensure_schema()
+        return bind(stmt, schemas)
+
+    def _provide_views(
+        self,
+        bound: BoundQuery,
+        entries: dict[str, TableEntry],
+        qstats: QueryStats,
+    ) -> dict[str, TableView]:
+        views: dict[str, TableView] = {}
+        for binding, entry in entries.items():
+            # ``count(*)`` references no columns, but the row count still
+            # has to come from somewhere: load the first column.
+            needed = bound.needed_columns[binding]
+            if not needed:
+                needed = [entry.ensure_schema().columns[0].name]
+            # Pin this query's already-resident columns: loading a missing
+            # column must never evict a sibling the same query needs.
+            if entry.table is not None:
+                schema = entry.ensure_schema()
+                for name in needed:
+                    self.memory.pin((entry.table.name, schema.column(name).name))
+            ctx = LoadContext(
+                entry=entry,
+                needed=needed,
+                condition=bound.conditions[binding],
+                config=self.config,
+                memory=self.memory,
+                qstats=qstats,
+                split=self._split_catalog(entry)
+                if self.config.policy == "splitfiles"
+                else None,
+                binary=self.binary_store,
+            )
+            views[binding] = self.policy.provide(ctx)
+        self.memory.release_pins()
+        return views
+
+    def _split_catalog(self, entry: TableEntry) -> SplitFileCatalog:
+        key = entry.name.lower()
+        if key not in self._splits:
+            schema = entry.ensure_schema()
+            self._splits[key] = SplitFileCatalog(
+                source=entry.file,
+                directory=self.config.resolve_splitfile_dir(),
+                ncols=len(schema),
+                table_key=key,
+                skip_rows=1 if entry.has_header else 0,
+            )
+        return self._splits[key]
+
+    def _file_io_totals(self, entries) -> tuple[int, int]:
+        total_bytes = 0
+        total_reads = 0
+        for entry in entries:
+            total_bytes += entry.file.stats.bytes_read
+            total_reads += entry.file.stats.read_calls
+            split = self._splits.get(entry.name.lower())
+            if split is not None:
+                total_bytes += split.io_bytes_read()
+        return total_bytes, total_reads
+
+    # --------------------------------------------------------- invalidation
+
+    def _check_stale(self, entry: TableEntry) -> None:
+        if not entry.is_stale():
+            return
+        if not self.config.auto_invalidate:
+            raise StaleFileError(
+                f"flat file for table {entry.name!r} changed after loading; "
+                "auto_invalidate is disabled"
+            )
+        self._invalidate_entry(entry)
+
+    def _invalidate_entry(self, entry: TableEntry) -> None:
+        if entry.table is not None:
+            for pc in entry.table.columns.values():
+                self.memory.forget((entry.table.name, pc.name))
+        entry.invalidate()
+        split = self._splits.pop(entry.name.lower(), None)
+        if split is not None:
+            split.destroy()
+        if self.binary_store is not None:
+            self.binary_store.drop_table(entry.name)
+
+    # -------------------------------------------------------------- cleanup
+
+    def close(self) -> None:
+        """Release split-file scratch space."""
+        for split in self._splits.values():
+            split.destroy()
+        self._splits.clear()
+        if self._owns_split_dir and self.config.splitfile_dir is not None:
+            cleanup_directory(self.config.splitfile_dir)
+            self.config.splitfile_dir = None
+
+    def __enter__(self) -> "NoDBEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

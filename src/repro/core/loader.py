@@ -1,0 +1,202 @@
+"""Adaptive load operators (paper section 3).
+
+These are the operators the paper plugs into MonetDB query plans; here they
+are functions invoked by the loading policies before execution.  Each
+operator makes one pass over a raw file (or split files) and returns typed
+column arrays plus the work counters the statistics layer aggregates:
+
+* :func:`full_load_pass` — the classic loader: tokenize and parse every
+  column of every row (the MonetDB baseline of every figure).
+* :func:`column_load_pass` — load a *subset* of columns in one go
+  ("one adaptive load operator to bring in one go all missing columns").
+* :func:`partial_load_pass` — load only rows qualifying pushed-down
+  predicates (Partial Loads; section 3.2's early row abandonment).
+* :func:`external_pass` — the MySQL-CSV-engine behaviour: tokenize whole
+  rows, parse what the query needs, remember nothing.
+
+All passes discover the table's row count as a side effect, feed the
+positional map when enabled, and honour the tokenizer ablation toggles in
+:class:`~repro.config.EngineConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import EngineConfig
+from repro.flatfile.parser import ParseStats, parse_fields, parse_single
+from repro.flatfile.schema import TableSchema
+from repro.flatfile.tokenizer import TokenizerStats, tokenize_columns
+from repro.ranges import Condition
+from repro.storage.catalog import TableEntry
+
+
+@dataclass
+class PassResult:
+    """Typed output of one adaptive-loading pass over a raw file."""
+
+    nrows: int  # total data rows in the file
+    columns: dict[str, np.ndarray]  # column name -> parsed values
+    row_ids: np.ndarray  # global row ids the values correspond to
+    tokenizer: TokenizerStats = field(default_factory=TokenizerStats)
+    parse: ParseStats = field(default_factory=ParseStats)
+
+    @property
+    def is_full_rows(self) -> bool:
+        return len(self.row_ids) == self.nrows
+
+
+def _pushdown_predicates(
+    schema: TableSchema,
+    condition: Condition | None,
+    config: EngineConfig,
+    parse_stats: ParseStats,
+) -> dict[int, object]:
+    """Build raw-text predicates for the tokenizer from a range condition.
+
+    Each predicate parses its field to compare it, and that conversion is
+    real work the loading operator performs, so it is counted in
+    ``parse_stats`` like any other parse.
+    """
+    if condition is None or not config.predicate_pushdown:
+        return {}
+    predicates = {}
+    for col, interval in condition.items:
+        idx = schema.index_of(col)
+        dtype = schema.columns[idx].dtype
+
+        def parse_counted(text: str, _d=dtype) -> object:
+            parse_stats.values_parsed += 1
+            return parse_single(text, _d)
+
+        predicates[idx] = interval.raw_predicate(parse_counted)
+    return predicates
+
+
+def _needed_indices(schema: TableSchema, names: list[str]) -> list[int]:
+    return sorted(schema.index_of(n) for n in names)
+
+
+def run_pass(
+    entry: TableEntry,
+    needed: list[str],
+    condition: Condition | None,
+    config: EngineConfig,
+    *,
+    parse_all_rows: bool,
+    tokenize_everything: bool = False,
+) -> PassResult:
+    """The shared tokenize-and-parse pass under all file-reading operators.
+
+    Parameters
+    ----------
+    parse_all_rows:
+        When True, predicates are *not* pushed into tokenization and every
+        row's needed fields are parsed (column loads / full load).  When
+        False, pushdown predicates filter rows during tokenization and
+        only qualifying rows are parsed (partial loads).
+    tokenize_everything:
+        Tokenize all columns of every row regardless of need (the external
+        -table behaviour, and the early-abort ablation).
+    """
+    schema = entry.ensure_schema()
+    skip = 1 if entry.has_header else 0
+    text = entry.file.read_all()
+    needed_idx = _needed_indices(schema, needed) if needed else [0]
+    parse_stats = ParseStats()
+    if tokenize_everything:
+        tokenize_idx = list(range(len(schema)))
+        predicates = {}
+        early_abort = False
+    else:
+        tokenize_idx = needed_idx
+        predicates = (
+            {}
+            if parse_all_rows
+            else _pushdown_predicates(schema, condition, config, parse_stats)
+        )
+        early_abort = config.tokenizer_early_abort
+    pmap = entry.positional_map if config.use_positional_map else None
+    result = tokenize_columns(
+        text,
+        ncols=len(schema),
+        needed=sorted(set(tokenize_idx) | set(predicates)),
+        delimiter=entry.file.delimiter,
+        early_abort=early_abort,
+        predicates=predicates,
+        positional_map=pmap,
+        learn=pmap is not None,
+        skip_rows=skip,
+    )
+    nrows = result.stats.rows_scanned
+    columns: dict[str, np.ndarray] = {}
+    for name in needed:
+        idx = schema.index_of(name)
+        raw = result.fields[idx]
+        columns[schema.columns[idx].name] = parse_fields(
+            raw, schema.columns[idx].dtype, parse_stats
+        )
+    return PassResult(
+        nrows=nrows,
+        columns=columns,
+        row_ids=result.row_ids,
+        tokenizer=result.stats,
+        parse=parse_stats,
+    )
+
+
+def full_load_pass(entry: TableEntry, config: EngineConfig) -> PassResult:
+    """Load every column of every row (the up-front loading baseline)."""
+    schema = entry.ensure_schema()
+    return run_pass(
+        entry,
+        needed=schema.names,
+        condition=None,
+        config=config,
+        parse_all_rows=True,
+    )
+
+
+def column_load_pass(
+    entry: TableEntry, columns: list[str], config: EngineConfig
+) -> PassResult:
+    """Load the given columns completely, in one pass over the file."""
+    return run_pass(
+        entry,
+        needed=columns,
+        condition=None,
+        config=config,
+        parse_all_rows=True,
+    )
+
+
+def partial_load_pass(
+    entry: TableEntry,
+    columns: list[str],
+    condition: Condition | None,
+    config: EngineConfig,
+) -> PassResult:
+    """Load only rows qualifying the pushed-down range condition."""
+    return run_pass(
+        entry,
+        needed=columns,
+        condition=condition,
+        config=config,
+        parse_all_rows=False,
+    )
+
+
+def external_pass(
+    entry: TableEntry, columns: list[str], config: EngineConfig
+) -> PassResult:
+    """The CSV-engine pass: tokenize whole rows, parse needed, keep nothing."""
+    return run_pass(
+        entry,
+        needed=columns,
+        condition=None,
+        config=config,
+        parse_all_rows=True,
+        tokenize_everything=True,
+    )

@@ -1,0 +1,434 @@
+"""Loading policies: the strategies of sections 3-4 behind one interface.
+
+A :class:`LoadingPolicy` receives one query's requirements for one table —
+needed columns and the conjunctive range condition — and returns a
+:class:`TableView` of column vectors the executor can run on.  How much of
+the raw file gets touched, what is kept in the adaptive store, and what a
+repeat query will cost are entirely the policy's business:
+
+========================  ====================================================
+``fullload``              classic DBMS: first touch loads everything
+``external``              MySQL CSV engine: re-parse whole rows every query
+``column_loads``          load whole missing columns on demand (section 3.2)
+``partial_v1``            pushdown loading, discard after query (section 3.2)
+``partial_v2``            pushdown loading, keep + reuse fragments (section 4)
+``splitfiles``            file cracking: split-as-you-load (section 4)
+========================  ====================================================
+
+The **universe convention**: a view presents either all table rows or only
+rows qualifying the query's recognized range condition.  Both are sound
+because the executor re-applies the full WHERE clause; conjunctive range
+predicates are idempotent, and residual predicates always run after the
+view is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import EngineConfig
+from repro.core.loader import (
+    PassResult,
+    column_load_pass,
+    external_pass,
+    full_load_pass,
+    partial_load_pass,
+)
+from repro.core.splitfile import SplitFileCatalog
+from repro.core.statistics import QueryStats
+from repro.errors import ExecutionError
+from repro.flatfile.parser import parse_fields
+from repro.ranges import Condition
+from repro.storage.binarystore import BinaryStore
+from repro.storage.catalog import TableEntry
+from repro.storage.memory import MemoryManager
+from repro.storage.partial import CoverageCertificate
+from repro.storage.table import Table
+
+
+@dataclass
+class LoadContext:
+    """Everything a policy needs to satisfy one query on one table."""
+
+    entry: TableEntry
+    needed: list[str]
+    condition: Condition
+    config: EngineConfig
+    memory: MemoryManager
+    qstats: QueryStats
+    split: SplitFileCatalog | None = None
+    binary: BinaryStore | None = None
+
+
+@dataclass
+class TableView:
+    """Column vectors presented to the executor for one table."""
+
+    nrows: int
+    arrays: dict[str, np.ndarray]
+    served_from_store: bool = False
+    went_to_file: bool = False
+
+    def get_column(self, name: str) -> np.ndarray:
+        try:
+            return self.arrays[name.lower()]
+        except KeyError:
+            raise ExecutionError(
+                f"column {name!r} was not provided by the loading policy"
+            ) from None
+
+
+class LoadingPolicy:
+    """Base class; subclasses implement :meth:`provide`."""
+
+    name = "abstract"
+
+    def provide(self, ctx: LoadContext) -> TableView:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _absorb_pass(ctx: LoadContext, result: PassResult) -> None:
+        ctx.qstats.tokenizer.merge(result.tokenizer)
+        ctx.qstats.parse.merge(result.parse)
+        ctx.qstats.went_to_file = True
+
+    @staticmethod
+    def _store_full_columns(
+        ctx: LoadContext, table: Table, result: PassResult
+    ) -> None:
+        """Store completely loaded columns and register them for eviction."""
+        for name, values in result.columns.items():
+            pc = table.column(name)
+            newly = pc.store_full(values)
+            ctx.qstats.rows_loaded += newly
+            _register(ctx, table, name)
+            if (
+                ctx.config.persist_loads
+                and ctx.binary is not None
+                and pc.dtype.is_numeric
+            ):
+                ctx.binary.save(table.name, pc.name, pc.dtype, pc.values)
+
+    @staticmethod
+    def _restore_from_binary(ctx: LoadContext, missing: list[str]) -> list[str]:
+        """Reload columns from the binary store (cold run); return the rest."""
+        if ctx.binary is None:
+            return missing
+        still_missing = []
+        for name in missing:
+            if not ctx.binary.has(ctx.entry.name, name):
+                still_missing.append(name)
+                continue
+            values = ctx.binary.load(ctx.entry.name, name)
+            table = ctx.entry.ensure_table(len(values))
+            pc = table.column(name)
+            ctx.qstats.rows_loaded += pc.store_full(values)
+            _register(ctx, table, name)
+        return still_missing
+
+    @staticmethod
+    def _view_from_store(
+        ctx: LoadContext, table: Table, served_from_store: bool, went_to_file: bool
+    ) -> TableView:
+        arrays = {}
+        for name in ctx.needed:
+            pc = table.column(name)
+            if not pc.is_fully_loaded:
+                raise ExecutionError(
+                    f"internal: column {name!r} expected fully loaded"
+                )
+            ctx.memory.touch((table.name, pc.name))
+            arrays[name.lower()] = pc.values
+        return TableView(
+            nrows=table.nrows,
+            arrays=arrays,
+            served_from_store=served_from_store,
+            went_to_file=went_to_file,
+        )
+
+
+def _register(ctx: LoadContext, table: Table, column_name: str) -> None:
+    pc = table.column(column_name)
+    key = (table.name, pc.name)
+
+    def dropper() -> None:
+        pc.drop()
+
+    # Pinned for the duration of the current query (the engine releases all
+    # pins after the views are built) so a query cannot evict its own data.
+    ctx.memory.register(key, pc.logical_nbytes, dropper, pinned=True)
+
+
+# ---------------------------------------------------------------------------
+# fullload
+# ---------------------------------------------------------------------------
+
+
+class FullLoadPolicy(LoadingPolicy):
+    """Load the complete table on first touch — the DBMS baseline."""
+
+    name = "fullload"
+
+    def provide(self, ctx: LoadContext) -> TableView:
+        entry = ctx.entry
+        went_to_file = False
+        binary_warm = ctx.binary is not None and ctx.binary.nrows(entry.name) is not None
+        if entry.table is None and not binary_warm:
+            result = full_load_pass(entry, ctx.config)
+            table = entry.ensure_table(result.nrows)
+            self._absorb_pass(ctx, result)
+            self._store_full_columns(ctx, table, result)
+            went_to_file = True
+        if entry.table is None and binary_warm:
+            entry.ensure_table(ctx.binary.nrows(entry.name))
+        table = entry.table
+        missing = [n for n in ctx.needed if not table.column(n).is_fully_loaded]
+        missing = self._restore_from_binary(ctx, missing)
+        if missing:  # possible after eviction or a cold start with gaps
+            result = column_load_pass(entry, missing, ctx.config)
+            self._absorb_pass(ctx, result)
+            self._store_full_columns(ctx, table, result)
+            went_to_file = True
+        return self._view_from_store(
+            ctx, table, served_from_store=not went_to_file, went_to_file=went_to_file
+        )
+
+
+# ---------------------------------------------------------------------------
+# external
+# ---------------------------------------------------------------------------
+
+
+class ExternalTablePolicy(LoadingPolicy):
+    """Re-parse the flat file on every query; remember nothing.
+
+    Models the MySQL CSV engine: a row engine that materializes whole
+    tuples (tokenizes every field), converts what the query needs, and
+    keeps no state between queries.
+    """
+
+    name = "external"
+
+    def provide(self, ctx: LoadContext) -> TableView:
+        result = external_pass(ctx.entry, ctx.needed, ctx.config)
+        self._absorb_pass(ctx, result)
+        ctx.entry.ensure_table(result.nrows)  # schema/row-count bookkeeping only
+        return TableView(
+            nrows=result.nrows,
+            arrays={k.lower(): v for k, v in result.columns.items()},
+            served_from_store=False,
+            went_to_file=True,
+        )
+
+
+# ---------------------------------------------------------------------------
+# column loads
+# ---------------------------------------------------------------------------
+
+
+class ColumnLoadsPolicy(LoadingPolicy):
+    """Adaptive loading at column granularity (Figure 3/4 "Column Loads")."""
+
+    name = "column_loads"
+
+    def provide(self, ctx: LoadContext) -> TableView:
+        entry = ctx.entry
+        table = entry.table
+        if table is None:
+            missing = list(ctx.needed)
+        else:
+            missing = [n for n in ctx.needed if not table.column(n).is_fully_loaded]
+        went_to_file = False
+        missing = self._restore_from_binary(ctx, missing)
+        if missing:
+            result = column_load_pass(entry, missing, ctx.config)
+            table = entry.ensure_table(result.nrows)
+            self._absorb_pass(ctx, result)
+            self._store_full_columns(ctx, table, result)
+            went_to_file = True
+        return self._view_from_store(
+            ctx, entry.table, served_from_store=not went_to_file, went_to_file=went_to_file
+        )
+
+
+# ---------------------------------------------------------------------------
+# partial loads V1
+# ---------------------------------------------------------------------------
+
+
+class PartialLoadsV1Policy(LoadingPolicy):
+    """Selection-pushdown loading that discards everything after the query.
+
+    "Partial Loads throws away the data immediately after every query ...
+    never paying the I/O cost to write the data back to disk and always
+    reading just enough from the file."  Cheapest possible single query,
+    zero benefit for the next one.
+    """
+
+    name = "partial_v1"
+
+    def provide(self, ctx: LoadContext) -> TableView:
+        result = partial_load_pass(ctx.entry, ctx.needed, ctx.condition, ctx.config)
+        self._absorb_pass(ctx, result)
+        ctx.entry.ensure_table(result.nrows)
+        return TableView(
+            nrows=len(result.row_ids),
+            arrays={k.lower(): v for k, v in result.columns.items()},
+            served_from_store=False,
+            went_to_file=True,
+        )
+
+
+# ---------------------------------------------------------------------------
+# partial loads V2
+# ---------------------------------------------------------------------------
+
+
+class PartialLoadsV2Policy(LoadingPolicy):
+    """Pushdown loading that *keeps* fragments and reuses them.
+
+    The table of contents is the certificate machinery of
+    :mod:`repro.storage.partial`: a query is served from the store when
+    every needed column holds a certificate implied by the query's range
+    condition (repeat queries, zoom-ins); otherwise one partial pass loads
+    the qualifying rows, stores them, and certifies them for the future.
+    """
+
+    name = "partial_v2"
+
+    def provide(self, ctx: LoadContext) -> TableView:
+        entry = ctx.entry
+        table = entry.table
+        if table is not None and self._covered(table, ctx):
+            return self._serve_from_store(ctx, table)
+        result = partial_load_pass(entry, ctx.needed, ctx.condition, ctx.config)
+        table = entry.ensure_table(result.nrows)
+        self._absorb_pass(ctx, result)
+        certificate = CoverageCertificate(
+            Condition() if result.is_full_rows else ctx.condition
+        )
+        for name, values in result.columns.items():
+            pc = table.column(name)
+            newly = pc.store(result.row_ids, values)
+            pc.add_certificate(certificate)
+            ctx.qstats.rows_loaded += newly
+            _register(ctx, table, name)
+        return TableView(
+            nrows=len(result.row_ids),
+            arrays={k.lower(): v for k, v in result.columns.items()},
+            served_from_store=False,
+            went_to_file=True,
+        )
+
+    @staticmethod
+    def _covered(table: Table, ctx: LoadContext) -> bool:
+        for name in ctx.needed:
+            key = name.lower()
+            pc = table.columns.get(key)
+            if pc is None or not pc.covers_query(ctx.condition):
+                return False
+        return True
+
+    def _serve_from_store(self, ctx: LoadContext, table: Table) -> TableView:
+        mask = np.ones(table.nrows, dtype=bool)
+        for col, interval in ctx.condition.items:
+            pc = table.column(col)
+            mask &= pc.qualifying_mask(interval)
+            ctx.memory.touch((table.name, pc.name))
+        row_ids = np.nonzero(mask)[0].astype(np.int64)
+        arrays = {}
+        for name in ctx.needed:
+            pc = table.column(name)
+            ctx.memory.touch((table.name, pc.name))
+            arrays[name.lower()] = pc.values_at(row_ids)
+        return TableView(
+            nrows=len(row_ids),
+            arrays=arrays,
+            served_from_store=True,
+            went_to_file=False,
+        )
+
+
+# ---------------------------------------------------------------------------
+# split files
+# ---------------------------------------------------------------------------
+
+
+class SplitFilesPolicy(LoadingPolicy):
+    """Column loads over an adaptively cracked file (Figure 4 "Split Files").
+
+    Missing columns are fetched through the
+    :class:`~repro.core.splitfile.SplitFileCatalog`, which reads single
+    files when earlier passes already split the needed columns out, and
+    splits remainders as a side effect otherwise.
+    """
+
+    name = "splitfiles"
+
+    def provide(self, ctx: LoadContext) -> TableView:
+        entry = ctx.entry
+        if ctx.split is None:
+            raise ExecutionError("splitfiles policy requires a split catalog")
+        schema = entry.ensure_schema()
+        table = entry.table
+        if table is None:
+            missing = list(ctx.needed)
+        else:
+            missing = [n for n in ctx.needed if not table.column(n).is_fully_loaded]
+        went_to_file = False
+        missing = self._restore_from_binary(ctx, missing)
+        if missing:
+            went_to_file = True
+            indices = [schema.index_of(n) for n in missing]
+            fetched = ctx.split.fetch_columns(indices)
+            ctx.qstats.tokenizer.merge(fetched.stats)
+            ctx.qstats.went_to_file = True
+            ctx.qstats.split_files_written += fetched.files_written
+            nrows = len(next(iter(fetched.fields.values())))
+            table = entry.ensure_table(nrows)
+            for name in missing:
+                idx = schema.index_of(name)
+                col_schema = schema.columns[idx]
+                values = parse_fields(
+                    fetched.fields[idx], col_schema.dtype, ctx.qstats.parse
+                )
+                pc = table.column(name)
+                newly = pc.store_full(values)
+                ctx.qstats.rows_loaded += newly
+                _register(ctx, table, name)
+                if (
+                    ctx.config.persist_loads
+                    and ctx.binary is not None
+                    and pc.dtype.is_numeric
+                ):
+                    ctx.binary.save(table.name, pc.name, pc.dtype, pc.values)
+        return self._view_from_store(
+            ctx, ctx.entry.table, served_from_store=not went_to_file, went_to_file=went_to_file
+        )
+
+
+_POLICY_CLASSES: dict[str, type[LoadingPolicy]] = {
+    cls.name: cls
+    for cls in (
+        FullLoadPolicy,
+        ExternalTablePolicy,
+        ColumnLoadsPolicy,
+        PartialLoadsV1Policy,
+        PartialLoadsV2Policy,
+        SplitFilesPolicy,
+    )
+}
+
+
+def make_policy(name: str) -> LoadingPolicy:
+    """Instantiate a policy by its :data:`repro.config.POLICIES` name."""
+    try:
+        return _POLICY_CLASSES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; expected one of {sorted(_POLICY_CLASSES)}"
+        ) from None

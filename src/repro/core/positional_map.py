@@ -1,0 +1,10 @@
+"""Re-export of the positional map (see :mod:`repro.flatfile.positions`).
+
+The data structure lives next to the tokenizer that feeds it; this module
+exists so that code reading the paper ("table of contents over the flat
+files", section 4.1.5) finds it where DESIGN.md's inventory says it is.
+"""
+
+from repro.flatfile.positions import PositionalMap
+
+__all__ = ["PositionalMap"]

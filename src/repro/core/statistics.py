@@ -1,0 +1,94 @@
+"""Engine statistics: the quantitative story behind every figure.
+
+Every query records a :class:`QueryStats` with the raw-file work it caused
+(bytes read, rows/fields tokenized, values parsed), the adaptive-store
+traffic (rows newly loaded, rows served from cache) and wall-clock split
+into load vs execute.  The bench harness reads these to print the paper's
+series, and the robustness monitor (section 5.5) reads them to detect
+pathological workloads.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.flatfile.parser import ParseStats
+from repro.flatfile.tokenizer import TokenizerStats
+
+
+@dataclass
+class QueryStats:
+    """Everything one query cost."""
+
+    sql: str = ""
+    policy: str = ""
+    tables: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    load_s: float = 0.0
+    execute_s: float = 0.0
+    tokenizer: TokenizerStats = field(default_factory=TokenizerStats)
+    parse: ParseStats = field(default_factory=ParseStats)
+    file_bytes_read: int = 0
+    file_reads: int = 0
+    rows_loaded: int = 0
+    served_from_store: bool = False
+    went_to_file: bool = False
+    split_files_written: int = 0
+    result_rows: int = 0
+
+    def summary(self) -> str:
+        src = "store" if self.served_from_store else "file"
+        return (
+            f"{self.elapsed_s * 1e3:8.2f} ms  src={src:5s} "
+            f"bytes={self.file_bytes_read:>10d} tok={self.tokenizer.fields_tokenized:>9d} "
+            f"parse={self.parse.values_parsed:>9d} loaded={self.rows_loaded:>8d}"
+        )
+
+
+@dataclass
+class EngineStatistics:
+    """Accumulated per-engine history."""
+
+    queries: list[QueryStats] = field(default_factory=list)
+
+    def record(self, q: QueryStats) -> None:
+        self.queries.append(q)
+
+    @property
+    def total_file_bytes(self) -> int:
+        return sum(q.file_bytes_read for q in self.queries)
+
+    @property
+    def total_values_parsed(self) -> int:
+        return sum(q.parse.values_parsed for q in self.queries)
+
+    @property
+    def total_rows_loaded(self) -> int:
+        return sum(q.rows_loaded for q in self.queries)
+
+    @property
+    def queries_from_store(self) -> int:
+        return sum(1 for q in self.queries if q.served_from_store)
+
+    @property
+    def queries_from_file(self) -> int:
+        return sum(1 for q in self.queries if q.went_to_file)
+
+    def last(self) -> QueryStats:
+        if not self.queries:
+            raise IndexError("no queries recorded yet")
+        return self.queries[-1]
+
+
+class Stopwatch:
+    """Tiny perf_counter helper used by the engine's load/execute split."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def lap(self) -> float:
+        now = time.perf_counter()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed

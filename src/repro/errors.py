@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one base class to handle anything the engine raises.  The
+subclasses partition errors by subsystem: SQL text problems, catalog/binding
+problems, flat-file problems and execution problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL text could not be lexed or parsed.
+
+    Carries the offending position so callers can point at the bad token.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(ReproError):
+    """A parsed query references unknown tables/columns or mis-typed ops."""
+
+
+class CatalogError(ReproError):
+    """Catalog-level problem: unknown table, duplicate attach, etc."""
+
+
+class FlatFileError(ReproError):
+    """A raw data file is missing, malformed, or changed underneath us."""
+
+
+class SchemaInferenceError(FlatFileError):
+    """The schema of a flat file could not be inferred."""
+
+
+class StaleFileError(FlatFileError):
+    """The flat file was edited after data was loaded from it.
+
+    The engine's invalidation policy (paper section 5.4) normally drops the
+    derived data automatically; this error is raised only when the caller
+    disables automatic invalidation and the engine detects the edit.
+    """
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed while executing a plan."""
+
+
+class BudgetExceededError(ReproError):
+    """The adaptive store cannot satisfy a load within its memory budget."""
+
+
+class UnsupportedSQLError(ReproError):
+    """The query is valid SQL but outside the implemented subset."""

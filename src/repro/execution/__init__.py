@@ -1,0 +1,15 @@
+"""Vectorized execution engine (the "adaptive kernel" substrate).
+
+Operates on NumPy column vectors — the column-at-a-time execution model of
+MonetDB that the paper's prototype extends.  The executor consumes a
+:class:`~repro.sql.binder.BoundQuery` plus materialized base columns and
+produces a :class:`~repro.result.QueryResult`; it is deliberately
+independent of *how* the base columns were materialized, which is exactly
+the seam where the adaptive loading operators plug in.
+"""
+
+from repro.execution.executor import execute_bound_query
+from repro.execution.expressions import eval_expr
+from repro.execution.joins import hash_join, merge_join
+
+__all__ = ["eval_expr", "execute_bound_query", "hash_join", "merge_join"]

@@ -1,0 +1,122 @@
+"""Global and grouped aggregation over column vectors.
+
+Grouped aggregation is sort-based: group keys are lexicographically sorted
+once, segment boundaries are found with one vectorized comparison, and each
+aggregate reduces over segments with ``np.add.reduceat`` and friends.  This
+keeps per-group Python work at zero, which matters because the paper's
+"DBMS wins after loading" story depends on the engine actually being fast
+once data is columnar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+
+def global_aggregate(func: str, values: np.ndarray | None, nrows: int, distinct: bool = False):
+    """Aggregate a whole column (or row count for ``count(*)``)."""
+    if func == "count":
+        if values is None:
+            return np.int64(nrows)
+        if distinct:
+            return np.int64(len(np.unique(values)))
+        return np.int64(len(values))
+    if values is None:
+        raise ExecutionError(f"{func}() requires an argument")
+    if distinct:
+        values = np.unique(values)
+    if len(values) == 0:
+        # SQL semantics: aggregates over empty input are NULL; the closest
+        # honest analogue without a NULL system is NaN for numerics.
+        return np.nan
+    if func == "sum":
+        return values.sum()
+    if func == "min":
+        return values.min() if values.dtype != object else min(values)
+    if func == "max":
+        return values.max() if values.dtype != object else max(values)
+    if func == "avg":
+        return float(values.mean())
+    raise ExecutionError(f"unknown aggregate {func!r}")
+
+
+def group_ids(keys: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray, list[np.ndarray]]:
+    """Compute group structure for one or more key columns.
+
+    Returns ``(order, segment_starts, key_values)`` where ``order`` sorts
+    the input rows by key, ``segment_starts`` indexes the first row of each
+    group within the sorted order, and ``key_values`` holds each key
+    column's per-group value (in sorted group order).
+    """
+    if not keys:
+        raise ExecutionError("group_ids needs at least one key")
+    n = len(keys[0])
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), [
+            np.empty(0, dtype=k.dtype) for k in keys
+        ]
+    order = np.lexsort(tuple(reversed(keys)))
+    boundary = np.zeros(n, dtype=bool)
+    boundary[0] = True
+    for key in keys:
+        sorted_key = key[order]
+        boundary[1:] |= sorted_key[1:] != sorted_key[:-1]
+    starts = np.nonzero(boundary)[0]
+    key_values = [key[order][starts] for key in keys]
+    return order, starts, key_values
+
+
+def grouped_aggregate(
+    func: str,
+    values: np.ndarray | None,
+    order: np.ndarray,
+    starts: np.ndarray,
+    distinct: bool = False,
+) -> np.ndarray:
+    """Aggregate ``values`` per group defined by ``(order, starts)``."""
+    ngroups = len(starts)
+    n = len(order)
+    if ngroups == 0:
+        return np.empty(0)
+    if func == "count" and values is None:
+        sizes = np.diff(np.append(starts, n))
+        return sizes.astype(np.int64)
+    if values is None:
+        raise ExecutionError(f"{func}() requires an argument")
+    sorted_vals = values[order]
+    if distinct or sorted_vals.dtype == object:
+        # Fallback: segment-wise Python reduction (strings / DISTINCT).
+        ends = np.append(starts[1:], n)
+        out = []
+        for s, e in zip(starts, ends):
+            seg = sorted_vals[s:e]
+            if distinct:
+                seg = np.unique(seg)
+            if func == "count":
+                out.append(len(seg))
+            elif func == "sum":
+                out.append(seg.sum())
+            elif func == "min":
+                out.append(min(seg))
+            elif func == "max":
+                out.append(max(seg))
+            elif func == "avg":
+                out.append(float(np.mean(seg)))
+            else:
+                raise ExecutionError(f"unknown aggregate {func!r}")
+        return np.array(out)
+    if func == "count":
+        return np.diff(np.append(starts, n)).astype(np.int64)
+    if func == "sum":
+        return np.add.reduceat(sorted_vals, starts)
+    if func == "min":
+        return np.minimum.reduceat(sorted_vals, starts)
+    if func == "max":
+        return np.maximum.reduceat(sorted_vals, starts)
+    if func == "avg":
+        sums = np.add.reduceat(sorted_vals.astype(np.float64), starts)
+        sizes = np.diff(np.append(starts, n))
+        return sums / sizes
+    raise ExecutionError(f"unknown aggregate {func!r}")

@@ -1,0 +1,112 @@
+"""Vectorized evaluation of bound expressions.
+
+``eval_expr`` walks a bound expression tree and evaluates it column-at-a-
+time over NumPy arrays.  Column references are resolved through a callable
+so the same evaluator serves pre-join frames, post-join frames and grouped
+frames.  Comparisons and logical operators produce boolean masks;
+projecting a mask surfaces it as int64 (0/1), matching common SQL engines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.sql.binder import (
+    BAgg,
+    BArith,
+    BColumn,
+    BCompare,
+    BExpr,
+    BIn,
+    BLiteral,
+    BLogical,
+    BNeg,
+    BNot,
+)
+
+Resolver = Callable[[BColumn], np.ndarray]
+
+
+def eval_expr(expr: BExpr, resolve: Resolver, nrows: int) -> np.ndarray:
+    """Evaluate ``expr`` to an array of length ``nrows``.
+
+    Aggregates must have been replaced before calling (the executor
+    evaluates aggregate inputs, not aggregate results, through this
+    function); hitting a :class:`BAgg` here is an internal error.
+    """
+    out = _eval(expr, resolve, nrows)
+    if np.isscalar(out) or out.ndim == 0:
+        return np.full(nrows, out)
+    return out
+
+
+def _eval(expr: BExpr, resolve: Resolver, nrows: int):
+    if isinstance(expr, BLiteral):
+        return expr.value
+    if isinstance(expr, BColumn):
+        return resolve(expr)
+    if isinstance(expr, BNeg):
+        return -_eval(expr.operand, resolve, nrows)
+    if isinstance(expr, BArith):
+        left = _eval(expr.left, resolve, nrows)
+        right = _eval(expr.right, resolve, nrows)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return np.true_divide(left, right)
+        raise ExecutionError(f"unknown arithmetic op {expr.op!r}")
+    if isinstance(expr, BCompare):
+        left = _eval(expr.left, resolve, nrows)
+        right = _eval(expr.right, resolve, nrows)
+        if expr.op == "=":
+            return left == right
+        if expr.op == "!=":
+            return left != right
+        if expr.op == "<":
+            return left < right
+        if expr.op == "<=":
+            return left <= right
+        if expr.op == ">":
+            return left > right
+        if expr.op == ">=":
+            return left >= right
+        raise ExecutionError(f"unknown comparison op {expr.op!r}")
+    if isinstance(expr, BLogical):
+        left = _as_mask(_eval(expr.left, resolve, nrows), nrows)
+        right = _as_mask(_eval(expr.right, resolve, nrows), nrows)
+        return (left & right) if expr.op == "and" else (left | right)
+    if isinstance(expr, BNot):
+        return ~_as_mask(_eval(expr.operand, resolve, nrows), nrows)
+    if isinstance(expr, BIn):
+        operand = _eval(expr.operand, resolve, nrows)
+        operand = np.asarray(operand) if not np.isscalar(operand) else np.full(nrows, operand)
+        mask = np.zeros(nrows, dtype=bool)
+        for v in expr.values:
+            mask |= operand == v
+        return ~mask if expr.negated else mask
+    if isinstance(expr, BAgg):
+        raise ExecutionError(
+            "aggregate reached the scalar evaluator; executor bug"
+        )
+    raise ExecutionError(f"cannot evaluate expression {expr!r}")
+
+
+def _as_mask(value, nrows: int) -> np.ndarray:
+    if np.isscalar(value):
+        return np.full(nrows, bool(value))
+    arr = np.asarray(value)
+    if arr.dtype != bool:
+        arr = arr.astype(bool)
+    return arr
+
+
+def eval_predicate(expr: BExpr, resolve: Resolver, nrows: int) -> np.ndarray:
+    """Evaluate a WHERE-style expression to a boolean mask."""
+    return _as_mask(_eval(expr, resolve, nrows), nrows)

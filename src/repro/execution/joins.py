@@ -1,0 +1,106 @@
+"""Join algorithms over column vectors.
+
+Two implementations, matching the pair the paper benchmarks in section 2.2
+(hash join vs sort+merge join in Awk, versus the DBMS's joins):
+
+* :func:`hash_join` — build a hash table on the smaller side, probe with
+  the larger; the engine's default.
+* :func:`merge_join` — sort both key columns, merge; kept both for the
+  baseline comparison and because the adaptive kernel (section 5.2) wants
+  multiple strategies to choose from.
+
+Both return ``(left_indices, right_indices)`` selection vectors, so callers
+reconstruct whatever payload columns they need — pure column-at-a-time
+style.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+
+def hash_join(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inner equi-join; returns matching index pairs (all matches).
+
+    Duplicates on either side produce the full cross product of matches,
+    per SQL semantics.
+    """
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    # Build on the smaller side.
+    swap = len(right_keys) < len(left_keys)
+    build_keys, probe_keys = (left_keys, right_keys) if not swap else (right_keys, left_keys)
+    table: dict = {}
+    for i, k in enumerate(build_keys.tolist()):
+        table.setdefault(k, []).append(i)
+    build_idx: list[int] = []
+    probe_idx: list[int] = []
+    for j, k in enumerate(probe_keys.tolist()):
+        hits = table.get(k)
+        if hits is not None:
+            build_idx.extend(hits)
+            probe_idx.extend([j] * len(hits))
+    b = np.asarray(build_idx, dtype=np.int64)
+    p = np.asarray(probe_idx, dtype=np.int64)
+    return (b, p) if not swap else (p, b)
+
+
+def hash_join_unique(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized join for unique keys on the right side.
+
+    ``np.searchsorted`` over the sorted right side replaces the Python
+    hash table; used automatically when the engine knows the build side is
+    duplicate-free (the paper's 1-to-1 join experiment).
+    """
+    if len(np.unique(right_keys)) != len(right_keys):
+        raise ExecutionError("hash_join_unique requires unique right keys")
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    order = np.argsort(right_keys, kind="stable")
+    sorted_right = right_keys[order]
+    pos = np.searchsorted(sorted_right, left_keys)
+    pos_clipped = np.minimum(pos, len(sorted_right) - 1)
+    matched = sorted_right[pos_clipped] == left_keys
+    left_idx = np.nonzero(matched)[0].astype(np.int64)
+    right_idx = order[pos_clipped[matched]].astype(np.int64)
+    return left_idx, right_idx
+
+
+def merge_join(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort-merge inner equi-join with full duplicate handling."""
+    left_order = np.argsort(left_keys, kind="stable")
+    right_order = np.argsort(right_keys, kind="stable")
+    ls = left_keys[left_order]
+    rs = right_keys[right_order]
+    li: list[int] = []
+    ri: list[int] = []
+    i = j = 0
+    nl, nr = len(ls), len(rs)
+    while i < nl and j < nr:
+        if ls[i] < rs[j]:
+            i += 1
+        elif ls[i] > rs[j]:
+            j += 1
+        else:
+            # gather the full run of equal keys on both sides
+            key = ls[i]
+            i2 = i
+            while i2 < nl and ls[i2] == key:
+                i2 += 1
+            j2 = j
+            while j2 < nr and rs[j2] == key:
+                j2 += 1
+            for a in range(i, i2):
+                for b in range(j, j2):
+                    li.append(left_order[a])
+                    ri.append(right_order[b])
+            i, j = i2, j2
+    return np.asarray(li, dtype=np.int64), np.asarray(ri, dtype=np.int64)

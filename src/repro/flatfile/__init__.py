@@ -1,0 +1,26 @@
+"""Flat-file substrate: CSV writing, tokenization, parsing, schema inference.
+
+This package is the part of the system that understands raw data files.
+Everything above it (the adaptive loader, the baselines) goes through these
+primitives, so the cost model of the whole reproduction — "touching the flat
+file is expensive, touching loaded columns is cheap" — lives here.
+"""
+
+from repro.flatfile.files import FileFingerprint, FlatFile
+from repro.flatfile.parser import parse_fields
+from repro.flatfile.schema import ColumnSchema, DataType, TableSchema, infer_schema
+from repro.flatfile.tokenizer import TokenizerStats, tokenize_columns
+from repro.flatfile.writer import write_csv
+
+__all__ = [
+    "ColumnSchema",
+    "DataType",
+    "FileFingerprint",
+    "FlatFile",
+    "TableSchema",
+    "TokenizerStats",
+    "infer_schema",
+    "parse_fields",
+    "tokenize_columns",
+    "write_csv",
+]

@@ -1,0 +1,110 @@
+"""Positional map: the learned "table of contents over the flat file".
+
+Section 4.1.5 of the paper ("Learning") proposes that every touch of a flat
+file should teach the system something about the file's physical structure
+— where rows begin, where attributes begin inside rows — so that future
+loads do less tokenization work.  This module is that structure.
+
+The map stores, per flat file:
+
+* ``row_offsets`` — byte offset of the start of every data row, learned the
+  first time any full pass tokenizes the file;
+* per-column arrays of **field start offsets**, one ``int64`` per row,
+  recorded as a side effect whenever a tokenization pass locates that
+  column in every row.
+
+A later load of column *j* asks :meth:`PositionalMap.anchor_for` for the
+closest already-known column at or before *j*.  Tokenization then starts at
+the anchor's byte offset and skips only ``j - anchor`` fields instead of
+``j`` fields from the start of the row.  When the anchor *is* ``j`` the
+field is extracted with zero scanning.
+
+The map is append-only and never trusted blindly: it is invalidated
+together with all other derived state when the source file's fingerprint
+changes (section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class PositionalMap:
+    """Byte-offset knowledge about one flat file.
+
+    Attributes
+    ----------
+    nrows:
+        Number of data rows in the file; fixed at first learning pass.
+    row_offsets:
+        ``int64[nrows]`` byte offset of each row start, or ``None`` if no
+        pass has learned them yet.
+    field_offsets:
+        Mapping column index -> ``int64[nrows]`` byte offset of that
+        column's field start in every row.
+    """
+
+    nrows: int | None = None
+    row_offsets: np.ndarray | None = None
+    field_offsets: dict[int, np.ndarray] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ learning
+
+    def record_row_offsets(self, offsets: np.ndarray) -> None:
+        """Store row-start offsets (idempotent; first writer wins)."""
+        if self.row_offsets is None:
+            self.row_offsets = np.asarray(offsets, dtype=np.int64)
+            self.nrows = len(self.row_offsets)
+
+    def record_field_offsets(self, col: int, offsets: np.ndarray) -> None:
+        """Store field-start offsets for ``col`` (idempotent)."""
+        arr = np.asarray(offsets, dtype=np.int64)
+        if self.nrows is not None and len(arr) != self.nrows:
+            raise ValueError(
+                f"field offsets for column {col} have {len(arr)} entries, expected {self.nrows}"
+            )
+        if self.nrows is None:
+            self.nrows = len(arr)
+        self.field_offsets.setdefault(col, arr)
+
+    # ----------------------------------------------------------- exploiting
+
+    def knows_column(self, col: int) -> bool:
+        return col in self.field_offsets
+
+    def known_columns(self) -> list[int]:
+        return sorted(self.field_offsets)
+
+    def anchor_for(self, col: int) -> tuple[int, np.ndarray] | None:
+        """Best starting point for locating ``col`` in every row.
+
+        Returns ``(anchor_col, offsets)`` where ``anchor_col`` is the
+        largest known column ``<= col``; falls back to row starts as
+        pseudo-column ``0`` anchors when rows are known but no smaller
+        column is; returns ``None`` when the map knows nothing useful.
+        """
+        candidates = [c for c in self.field_offsets if c <= col]
+        if candidates:
+            best = max(candidates)
+            return best, self.field_offsets[best]
+        if self.row_offsets is not None:
+            return 0, self.row_offsets
+        return None
+
+    def clear(self) -> None:
+        """Forget everything (called when the source file was edited)."""
+        self.nrows = None
+        self.row_offsets = None
+        self.field_offsets.clear()
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the map, for budget accounting."""
+        total = 0
+        if self.row_offsets is not None:
+            total += self.row_offsets.nbytes
+        for arr in self.field_offsets.values():
+            total += arr.nbytes
+        return total

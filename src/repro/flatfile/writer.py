@@ -1,0 +1,81 @@
+"""Deterministic CSV writing for datasets and split files.
+
+The workload generator and the split-file (file cracking) machinery both
+need to materialize columnar data as flat text.  Writing goes through one
+function so the dialect (no quoting, ``\\n`` line endings, UTF-8) is
+guaranteed to match what the tokenizer expects to read back.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import FlatFileError
+
+
+def format_value(value) -> str:
+    """Render one value the way the tokenizer/parser round-trips it."""
+    if isinstance(value, (np.floating, float)):
+        return repr(float(value))
+    if isinstance(value, (np.integer, int)):
+        return str(int(value))
+    return str(value)
+
+
+def write_csv(
+    path: Path | str,
+    columns: Sequence[np.ndarray | Sequence],
+    header: Sequence[str] | None = None,
+    delimiter: str = ",",
+) -> Path:
+    """Write columnar data as CSV and return the path.
+
+    ``columns`` is a list of equal-length arrays (column-major input,
+    row-major output — the mismatch the whole paper is about).
+    """
+    path = Path(path)
+    if not columns:
+        raise FlatFileError("write_csv needs at least one column")
+    nrows = len(columns[0])
+    for i, col in enumerate(columns):
+        if len(col) != nrows:
+            raise FlatFileError(
+                f"column 0 has {nrows} rows but column {i} has {len(col)}"
+            )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        if header is not None:
+            if len(header) != len(columns):
+                raise FlatFileError(
+                    f"header has {len(header)} names for {len(columns)} columns"
+                )
+            f.write(delimiter.join(header) + "\n")
+        all_int = all(
+            isinstance(c, np.ndarray) and c.dtype.kind in "iu" for c in columns
+        )
+        if all_int:
+            # Fast path for the paper's pure-integer tables.
+            cols_txt = [c.astype("U21") for c in columns]
+            for row in zip(*cols_txt):
+                f.write(delimiter.join(row) + "\n")
+        else:
+            for row in zip(*columns):
+                f.write(delimiter.join(format_value(v) for v in row) + "\n")
+    return path
+
+
+def write_rows(
+    path: Path | str,
+    rows: Iterable[Sequence],
+    delimiter: str = ",",
+) -> Path:
+    """Write row-major data as CSV (convenience for tests/baselines)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        for row in rows:
+            f.write(delimiter.join(format_value(v) for v in row) + "\n")
+    return path

@@ -1,0 +1,101 @@
+"""Query results.
+
+A :class:`QueryResult` is a small columnar result set: named NumPy arrays
+plus conveniences for tests and interactive use (row tuples, dict export,
+pretty printing).  All engines and baselines in this repository return this
+type, which is what lets the property tests assert that every loading
+policy produces byte-identical answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class QueryResult:
+    """Columnar result set."""
+
+    names: list[str]
+    columns: list[np.ndarray]
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.names) != len(self.columns):
+            raise ValueError(
+                f"{len(self.names)} names but {len(self.columns)} columns"
+            )
+        lengths = {len(c) for c in self.columns}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged result: column lengths {sorted(lengths)}")
+
+    # ------------------------------------------------------------- access
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[self.names.index(name)]
+        except ValueError:
+            raise KeyError(f"no result column {name!r}; have {self.names}") from None
+
+    def rows(self) -> list[tuple]:
+        return [tuple(col[i] for col in self.columns) for i in range(self.num_rows)]
+
+    def scalar(self):
+        """The single value of a 1x1 result (aggregate convenience)."""
+        if self.num_rows != 1 or self.num_columns != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, have {self.num_rows}x{self.num_columns}"
+            )
+        return self.columns[0][0]
+
+    def to_dict(self) -> dict[str, list]:
+        return {n: list(c) for n, c in zip(self.names, self.columns)}
+
+    # ---------------------------------------------------------- comparison
+
+    def approx_equal(self, other: "QueryResult", rel: float = 1e-9) -> bool:
+        """Value equality with float tolerance, ignoring stats."""
+        if self.names != other.names or self.num_rows != other.num_rows:
+            return False
+        for a, b in zip(self.columns, other.columns):
+            if a.dtype.kind == "f" or b.dtype.kind == "f":
+                # NaN is this engine's "aggregate over empty input" marker
+                # (no NULL system), so NaN == NaN here.
+                if not np.allclose(
+                    a.astype(np.float64),
+                    b.astype(np.float64),
+                    rtol=rel,
+                    atol=1e-12,
+                    equal_nan=True,
+                ):
+                    return False
+            elif not all(x == y for x, y in zip(a, b)):
+                return False
+        return True
+
+    # ------------------------------------------------------------ display
+
+    def __repr__(self) -> str:
+        lines = [" | ".join(self.names)]
+        for i, row in enumerate(self.rows()):
+            if i >= 20:
+                lines.append(f"... ({self.num_rows} rows)")
+                break
+            lines.append(" | ".join(_fmt(v) for v in row))
+        return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, (float, np.floating)):
+        return f"{v:.6g}"
+    return str(v)

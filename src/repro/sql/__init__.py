@@ -1,0 +1,45 @@
+"""Declarative SQL interface.
+
+The paper's section 2.2 argues that the declarative interface is itself a
+major DBMS advantage over scripting ("a simple 1-2 line SQL query needs
+several tenths or hundreds of lines in a scripting language").  This
+package provides that interface: a lexer, a recursive-descent parser
+producing a typed AST, and a binder that resolves names against the catalog
+and extracts the conjunctive range conditions the adaptive loader feeds on.
+"""
+
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    JoinClause,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.binder import BoundQuery, bind
+from repro.sql.lexer import Token, tokenize_sql
+from repro.sql.parser import parse_sql
+
+__all__ = [
+    "BinaryOp",
+    "BoundQuery",
+    "ColumnRef",
+    "FuncCall",
+    "JoinClause",
+    "Literal",
+    "OrderItem",
+    "SelectItem",
+    "SelectStmt",
+    "Star",
+    "TableRef",
+    "Token",
+    "UnaryOp",
+    "bind",
+    "parse_sql",
+    "tokenize_sql",
+]

@@ -1,0 +1,149 @@
+"""Typed AST for the supported SQL subset.
+
+All nodes are plain dataclasses; the parser builds them, the binder walks
+them.  The subset covers the paper's workloads (conjunctive range scans
+with aggregates, Q1/Q2) plus what an exploring user reasonably needs:
+projections, arithmetic, GROUP BY, ORDER BY, LIMIT, inner equi-joins,
+BETWEEN, IN-lists and DISTINCT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+Expr = Union["ColumnRef", "Literal", "BinaryOp", "UnaryOp", "FuncCall", "InList", "Star"]
+
+#: Aggregate function names recognized by the binder.
+AGGREGATES = {"sum", "min", "max", "avg", "count"}
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly qualified) column reference: ``a1`` or ``r.a1``."""
+
+    name: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: int, float or string."""
+
+    value: int | float | str
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Binary operator application (arithmetic, comparison, and/or)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary operator: ``-expr`` or ``NOT expr``."""
+
+    op: str
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """Function application; aggregates use this node too."""
+
+    name: str
+    args: tuple[Expr, ...]
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        d = "distinct " if self.distinct else ""
+        return f"{self.name}({d}{inner})"
+
+
+@dataclass(frozen=True)
+class InList:
+    """``expr IN (v1, v2, ...)`` with literal members."""
+
+    operand: Expr
+    values: tuple[Expr, ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        vals = ", ".join(str(v) for v in self.values)
+        neg = " not" if self.negated else ""
+        return f"({self.operand}{neg} in ({vals}))"
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` (as a select item or inside ``count(*)``)."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output expression with its optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """``FROM`` / ``JOIN`` table with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return (self.alias or self.name).lower()
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``JOIN table ON left = right`` (inner equi-join)."""
+
+    table: TableRef
+    on: BinaryOp
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ``ORDER BY`` key."""
+
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class SelectStmt:
+    """A full SELECT statement."""
+
+    items: list[SelectItem]
+    table: TableRef | None = None
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False

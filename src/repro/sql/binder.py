@@ -1,0 +1,555 @@
+"""Name resolution and semantic analysis.
+
+The binder turns a parsed :class:`~repro.sql.ast_nodes.SelectStmt` into a
+:class:`BoundQuery`:
+
+* every column reference is resolved against the attached tables' schemas
+  (qualified or not; unqualified names must be unambiguous);
+* aggregate usage is validated (no nesting, non-aggregated outputs must be
+  GROUP BY keys);
+* the WHERE clause is analysed into the per-table **conjunctive range
+  conditions** (:class:`repro.ranges.Condition`) that drive adaptive
+  loading, predicate pushdown and the coverage table of contents — plus a
+  residual flag for anything beyond conjunctive ranges;
+* the per-table set of **needed columns** is computed, which is the
+  "how much do we load" input of section 3.1.2.
+
+Bound expressions are their own small node hierarchy (``B*`` classes), so
+the executor never sees unresolved names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import BindError, UnsupportedSQLError
+from repro.flatfile.schema import DataType, TableSchema
+from repro.ranges import Condition, ValueInterval
+from repro.sql.ast_nodes import (
+    AGGREGATES,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    JoinClause,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+
+# --------------------------------------------------------------------------
+# Bound expression nodes
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BColumn:
+    """Resolved column: which table binding, which column, what type."""
+
+    binding: str
+    name: str
+    dtype: DataType
+
+    def __str__(self) -> str:
+        return f"{self.binding}.{self.name}"
+
+
+@dataclass(frozen=True)
+class BLiteral:
+    value: int | float | str
+
+    @property
+    def dtype(self) -> DataType:
+        if isinstance(self.value, bool):  # pragma: no cover - no bool literals
+            raise BindError("boolean literals are not supported")
+        if isinstance(self.value, int):
+            return DataType.INT64
+        if isinstance(self.value, float):
+            return DataType.FLOAT64
+        return DataType.STRING
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BArith:
+    """Numeric arithmetic; result type is int unless any side is float."""
+
+    op: str
+    left: "BExpr"
+    right: "BExpr"
+    dtype: DataType = DataType.FLOAT64
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class BNeg:
+    operand: "BExpr"
+
+    @property
+    def dtype(self) -> DataType:
+        return self.operand.dtype
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+@dataclass(frozen=True)
+class BCompare:
+    op: str  # '=', '!=', '<', '<=', '>', '>='
+    left: "BExpr"
+    right: "BExpr"
+
+    dtype = DataType.INT64  # boolean masks surface as int64 when projected
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class BLogical:
+    op: str  # 'and' | 'or'
+    left: "BExpr"
+    right: "BExpr"
+
+    dtype = DataType.INT64
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class BNot:
+    operand: "BExpr"
+
+    dtype = DataType.INT64
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+@dataclass(frozen=True)
+class BIn:
+    operand: "BExpr"
+    values: tuple
+    negated: bool = False
+
+    dtype = DataType.INT64
+
+    def __str__(self) -> str:
+        return f"({self.operand} in {self.values})"
+
+
+@dataclass(frozen=True)
+class BAgg:
+    """Aggregate call: ``func`` over ``arg`` (None means ``count(*)``)."""
+
+    func: str
+    arg: "BExpr | None"
+    distinct: bool = False
+
+    @property
+    def dtype(self) -> DataType:
+        if self.func == "count":
+            return DataType.INT64
+        if self.func == "avg":
+            return DataType.FLOAT64
+        if self.arg is None:  # pragma: no cover - guarded by binder
+            raise BindError(f"{self.func} requires an argument")
+        return self.arg.dtype
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        return f"{self.func}({inner})"
+
+
+BExpr = BColumn | BLiteral | BArith | BNeg | BCompare | BLogical | BNot | BIn | BAgg
+
+# --------------------------------------------------------------------------
+# Bound query
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class BoundOutput:
+    """One output column of the query."""
+
+    name: str
+    expr: BExpr
+
+
+@dataclass
+class BoundJoin:
+    """Inner equi-join between two resolved columns."""
+
+    left: BColumn
+    right: BColumn
+
+
+@dataclass
+class BoundQuery:
+    """Fully resolved query, ready for planning/execution."""
+
+    tables: dict[str, str]  # binding -> catalog table name
+    schemas: dict[str, TableSchema]  # binding -> schema
+    outputs: list[BoundOutput]
+    joins: list[BoundJoin] = field(default_factory=list)
+    where: BExpr | None = None
+    group_by: list[BExpr] = field(default_factory=list)
+    having: BExpr | None = None
+    order_by: list[tuple[BExpr, bool]] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+    is_aggregate: bool = False
+    # Adaptive-loading inputs:
+    needed_columns: dict[str, list[str]] = field(default_factory=dict)
+    conditions: dict[str, Condition] = field(default_factory=dict)
+    has_residual_predicate: bool = False
+
+    def single_binding(self) -> str:
+        if len(self.tables) != 1:
+            raise BindError("expected a single-table query")
+        return next(iter(self.tables))
+
+
+# --------------------------------------------------------------------------
+# Binder implementation
+# --------------------------------------------------------------------------
+
+
+class _Binder:
+    def __init__(self, stmt: SelectStmt, schemas_by_table: Mapping[str, TableSchema]):
+        self.stmt = stmt
+        self.catalog = {k.lower(): v for k, v in schemas_by_table.items()}
+        self.bindings: dict[str, tuple[str, TableSchema]] = {}
+        self.needed: dict[str, set[str]] = {}
+
+    # --------------------------------------------------------------- scope
+
+    def _add_table(self, ref: TableRef) -> None:
+        key = ref.name.lower()
+        if key not in self.catalog:
+            raise BindError(
+                f"unknown table {ref.name!r}; attached tables: {sorted(self.catalog)}"
+            )
+        binding = ref.binding_name
+        if binding in self.bindings:
+            raise BindError(f"duplicate table binding {binding!r}")
+        self.bindings[binding] = (ref.name, self.catalog[key])
+        self.needed[binding] = set()
+
+    def _resolve_column(self, ref: ColumnRef) -> BColumn:
+        if ref.table is not None:
+            binding = ref.table.lower()
+            if binding not in self.bindings:
+                raise BindError(f"unknown table alias {ref.table!r}")
+            _, schema = self.bindings[binding]
+            try:
+                col = schema.column(ref.name)
+            except KeyError:
+                raise BindError(
+                    f"table {ref.table!r} has no column {ref.name!r}"
+                ) from None
+            self.needed[binding].add(col.name)
+            return BColumn(binding, col.name, col.dtype)
+        hits = []
+        for binding, (_, schema) in self.bindings.items():
+            try:
+                col = schema.column(ref.name)
+                hits.append((binding, col))
+            except KeyError:
+                continue
+        if not hits:
+            raise BindError(f"unknown column {ref.name!r}")
+        if len(hits) > 1:
+            tables = [b for b, _ in hits]
+            raise BindError(f"ambiguous column {ref.name!r}: appears in {tables}")
+        binding, col = hits[0]
+        self.needed[binding].add(col.name)
+        return BColumn(binding, col.name, col.dtype)
+
+    # --------------------------------------------------------- expressions
+
+    def bind_expr(self, expr, allow_agg: bool, inside_agg: bool = False) -> BExpr:
+        if isinstance(expr, Literal):
+            return BLiteral(expr.value)
+        if isinstance(expr, ColumnRef):
+            return self._resolve_column(expr)
+        if isinstance(expr, Star):
+            raise BindError("'*' is only valid as a select item or in count(*)")
+        if isinstance(expr, UnaryOp):
+            if expr.op == "-":
+                operand = self.bind_expr(expr.operand, allow_agg, inside_agg)
+                if not operand.dtype.is_numeric:
+                    raise BindError("unary minus needs a numeric operand")
+                return BNeg(operand)
+            if expr.op == "not":
+                return BNot(self.bind_expr(expr.operand, allow_agg, inside_agg))
+            raise BindError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, InList):
+            operand = self.bind_expr(expr.operand, allow_agg, inside_agg)
+            values = []
+            for v in expr.values:
+                bound = self.bind_expr(v, allow_agg=False)
+                if not isinstance(bound, BLiteral):
+                    raise UnsupportedSQLError("IN lists must contain literals")
+                values.append(bound.value)
+            return BIn(operand, tuple(values), expr.negated)
+        if isinstance(expr, FuncCall):
+            return self._bind_func(expr, allow_agg, inside_agg)
+        if isinstance(expr, BinaryOp):
+            if expr.op in ("and", "or"):
+                return BLogical(
+                    expr.op,
+                    self.bind_expr(expr.left, allow_agg, inside_agg),
+                    self.bind_expr(expr.right, allow_agg, inside_agg),
+                )
+            left = self.bind_expr(expr.left, allow_agg, inside_agg)
+            right = self.bind_expr(expr.right, allow_agg, inside_agg)
+            if expr.op in ("=", "!=", "<", "<=", ">", ">="):
+                self._check_comparable(left, right, expr.op)
+                return BCompare(expr.op, left, right)
+            if expr.op in ("+", "-", "*", "/"):
+                if not (left.dtype.is_numeric and right.dtype.is_numeric):
+                    raise BindError(
+                        f"arithmetic {expr.op!r} needs numeric operands, got "
+                        f"{left.dtype.value} and {right.dtype.value}"
+                    )
+                dtype = (
+                    DataType.FLOAT64
+                    if expr.op == "/"
+                    or DataType.FLOAT64 in (left.dtype, right.dtype)
+                    else DataType.INT64
+                )
+                return BArith(expr.op, left, right, dtype)
+            raise BindError(f"unknown operator {expr.op!r}")
+        raise BindError(f"cannot bind expression {expr!r}")
+
+    @staticmethod
+    def _check_comparable(left: BExpr, right: BExpr, op: str) -> None:
+        lt, rt = left.dtype, right.dtype
+        if lt.is_numeric != rt.is_numeric:
+            raise BindError(
+                f"cannot compare {lt.value} with {rt.value} using {op!r}"
+            )
+
+    def _bind_func(self, expr: FuncCall, allow_agg: bool, inside_agg: bool) -> BExpr:
+        name = expr.name
+        if name in AGGREGATES:
+            if inside_agg:
+                raise BindError("aggregates cannot be nested")
+            if not allow_agg:
+                raise BindError(f"aggregate {name}() is not allowed here")
+            if name == "count" and len(expr.args) == 1 and isinstance(expr.args[0], Star):
+                return BAgg("count", None, distinct=False)
+            if len(expr.args) != 1:
+                raise BindError(f"{name}() takes exactly one argument")
+            arg = self.bind_expr(expr.args[0], allow_agg=False, inside_agg=True)
+            if name in ("sum", "avg") and not arg.dtype.is_numeric:
+                raise BindError(f"{name}() needs a numeric argument")
+            return BAgg(name, arg, distinct=expr.distinct)
+        raise UnsupportedSQLError(f"unknown function {name!r}")
+
+    # ------------------------------------------------------------- binding
+
+    def bind(self) -> BoundQuery:
+        stmt = self.stmt
+        if stmt.table is None:
+            raise UnsupportedSQLError("queries without FROM are not supported")
+        self._add_table(stmt.table)
+        joins: list[BoundJoin] = []
+        for jc in stmt.joins:
+            self._add_table(jc.table)
+            joins.append(self._bind_join(jc))
+
+        where = None
+        if stmt.where is not None:
+            where = self.bind_expr(stmt.where, allow_agg=False)
+
+        group_by = [self.bind_expr(e, allow_agg=False) for e in stmt.group_by]
+        having = (
+            self.bind_expr(stmt.having, allow_agg=True)
+            if stmt.having is not None
+            else None
+        )
+
+        outputs = self._bind_outputs(stmt.items, group_by)
+        is_aggregate = bool(group_by) or any(
+            _contains_agg(o.expr) for o in outputs
+        )
+        if is_aggregate:
+            self._check_grouping(outputs, group_by)
+
+        order_by = []
+        for item in stmt.order_by:
+            bound = self._bind_order_expr(item, outputs, is_aggregate)
+            order_by.append((bound, item.descending))
+
+        conditions, has_residual = _extract_conditions(where, list(self.bindings))
+
+        bound = BoundQuery(
+            tables={b: name for b, (name, _) in self.bindings.items()},
+            schemas={b: schema for b, (_, schema) in self.bindings.items()},
+            outputs=outputs,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=stmt.limit,
+            distinct=stmt.distinct,
+            is_aggregate=is_aggregate,
+            needed_columns={b: sorted(cols) for b, cols in self.needed.items()},
+            conditions=conditions,
+            has_residual_predicate=has_residual,
+        )
+        return bound
+
+    def _bind_join(self, jc: JoinClause) -> BoundJoin:
+        on = jc.on
+        left = self.bind_expr(on.left, allow_agg=False)
+        right = self.bind_expr(on.right, allow_agg=False)
+        if not isinstance(left, BColumn) or not isinstance(right, BColumn):
+            raise UnsupportedSQLError("join conditions must compare two columns")
+        if left.binding == right.binding:
+            raise BindError("join condition must reference both tables")
+        self._check_comparable(left, right, "=")
+        # Normalize: left side belongs to the earlier-bound table.
+        order = list(self.bindings)
+        if order.index(left.binding) > order.index(right.binding):
+            left, right = right, left
+        return BoundJoin(left, right)
+
+    def _bind_outputs(
+        self, items: list[SelectItem], group_by: list[BExpr]
+    ) -> list[BoundOutput]:
+        outputs: list[BoundOutput] = []
+        for item in items:
+            if isinstance(item.expr, Star):
+                for binding, (_, schema) in self.bindings.items():
+                    for col in schema:
+                        self.needed[binding].add(col.name)
+                        outputs.append(
+                            BoundOutput(col.name, BColumn(binding, col.name, col.dtype))
+                        )
+                continue
+            expr = self.bind_expr(item.expr, allow_agg=True)
+            name = item.alias or _default_name(expr, len(outputs))
+            outputs.append(BoundOutput(name, expr))
+        if not outputs:
+            raise BindError("SELECT list is empty")
+        return outputs
+
+    def _check_grouping(
+        self, outputs: list[BoundOutput], group_by: list[BExpr]
+    ) -> None:
+        keys = {str(g) for g in group_by}
+        for out in outputs:
+            if _contains_agg(out.expr):
+                continue
+            if str(out.expr) not in keys:
+                raise BindError(
+                    f"output {out.name!r} is neither aggregated nor in GROUP BY"
+                )
+
+    def _bind_order_expr(self, item: OrderItem, outputs, is_aggregate) -> BExpr:
+        # ORDER BY may reference an output alias or position.
+        expr = item.expr
+        if isinstance(expr, Literal) and isinstance(expr.value, int):
+            idx = expr.value - 1
+            if not 0 <= idx < len(outputs):
+                raise BindError(f"ORDER BY position {expr.value} out of range")
+            return outputs[idx].expr
+        if isinstance(expr, ColumnRef) and expr.table is None:
+            for out in outputs:
+                if out.name.lower() == expr.name.lower():
+                    return out.expr
+        bound = self.bind_expr(expr, allow_agg=is_aggregate)
+        return bound
+
+
+def _default_name(expr: BExpr, index: int) -> str:
+    if isinstance(expr, BColumn):
+        return expr.name
+    if isinstance(expr, BAgg):
+        return str(expr)
+    return f"col{index + 1}"
+
+
+def _contains_agg(expr: BExpr) -> bool:
+    if isinstance(expr, BAgg):
+        return True
+    if isinstance(expr, (BArith, BCompare, BLogical)):
+        return _contains_agg(expr.left) or _contains_agg(expr.right)
+    if isinstance(expr, (BNeg, BNot)):
+        return _contains_agg(expr.operand)
+    if isinstance(expr, BIn):
+        return _contains_agg(expr.operand)
+    return False
+
+
+def _extract_conditions(
+    where: BExpr | None, bindings: list[str]
+) -> tuple[dict[str, Condition], bool]:
+    """Split WHERE into per-table conjunctive range conditions + residual.
+
+    Only conjuncts of the form ``column <cmp> literal`` (or mirrored) are
+    recognized; everything else (ORs, arithmetic comparisons, IN, NOT,
+    column-column comparisons) is *residual*: it still filters rows during
+    execution but cannot feed pushdown or the coverage table of contents.
+    """
+    per_table: dict[str, list[tuple[str, ValueInterval]]] = {b: [] for b in bindings}
+    residual = False
+    if where is not None:
+        for conjunct in _flatten_and(where):
+            hit = _conjunct_to_interval(conjunct)
+            if hit is None:
+                residual = True
+            else:
+                binding, col, interval = hit
+                per_table[binding].append((col, interval))
+    return {b: Condition(items) for b, items in per_table.items()}, residual
+
+
+def _flatten_and(expr: BExpr) -> list[BExpr]:
+    if isinstance(expr, BLogical) and expr.op == "and":
+        return _flatten_and(expr.left) + _flatten_and(expr.right)
+    return [expr]
+
+
+def _conjunct_to_interval(expr: BExpr) -> tuple[str, str, ValueInterval] | None:
+    if not isinstance(expr, BCompare):
+        return None
+    left, right, op = expr.left, expr.right, expr.op
+    if isinstance(left, BLiteral) and isinstance(right, BColumn):
+        left, right = right, left
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}[op]
+    if not (isinstance(left, BColumn) and isinstance(right, BLiteral)):
+        return None
+    value = right.value
+    if op == "=":
+        interval = ValueInterval.equal(value)
+    elif op == "<":
+        interval = ValueInterval(None, value, hi_open=True)
+    elif op == "<=":
+        interval = ValueInterval(None, value, hi_open=False)
+    elif op == ">":
+        interval = ValueInterval(value, None, lo_open=True)
+    elif op == ">=":
+        interval = ValueInterval(value, None, lo_open=False)
+    else:  # '!=' has no single-interval form
+        return None
+    return left.binding, left.name, interval
+
+
+def bind(stmt: SelectStmt, schemas_by_table: Mapping[str, TableSchema]) -> BoundQuery:
+    """Bind a parsed statement against the given table schemas."""
+    return _Binder(stmt, schemas_by_table).bind()

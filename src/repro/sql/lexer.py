@@ -1,0 +1,133 @@
+"""SQL lexer.
+
+Splits SQL text into a token stream for the recursive-descent parser.
+Keywords are recognized case-insensitively; identifiers keep their original
+spelling (name resolution lower-cases later).  Positions are preserved on
+every token so syntax errors can point at the offending character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "and",
+    "or",
+    "not",
+    "group",
+    "having",
+    "order",
+    "by",
+    "limit",
+    "as",
+    "join",
+    "inner",
+    "on",
+    "asc",
+    "desc",
+    "between",
+    "in",
+    "distinct",
+}
+
+#: Multi-character operators first so maximal munch works.
+_OPERATORS = ["<>", "!=", ">=", "<=", "=", "<", ">", "+", "-", "*", "/", "(", ")", ",", "."]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'op' | 'eof'
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.text == op
+
+
+def tokenize_sql(sql: str) -> list[Token]:
+    """Lex ``sql`` into tokens, ending with a single ``eof`` token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and sql[i + 1] == "-":  # line comment
+            nl = sql.find("\n", i)
+            i = n if nl == -1 else nl + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            lowered = word.lower()
+            kind = "keyword" if lowered in KEYWORDS else "ident"
+            tokens.append(Token(kind, lowered if kind == "keyword" else word, i))
+            i = j
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    # exponent must be followed by digits or sign+digits
+                    k = j + 1
+                    if k < n and sql[k] in "+-":
+                        k += 1
+                    if k < n and sql[k].isdigit():
+                        seen_exp = True
+                        seen_dot = True  # no dot allowed after exponent
+                        j = k
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token("number", sql[i:j], i))
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            buf: list[str] = []
+            while j < n:
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":  # escaped quote
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(sql[j])
+                j += 1
+            if j >= n:
+                raise SQLSyntaxError("unterminated string literal", i)
+            tokens.append(Token("string", "".join(buf), i))
+            i = j + 1
+            continue
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                break
+        else:
+            raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("eof", "", n))
+    return tokens

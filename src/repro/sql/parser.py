@@ -1,0 +1,337 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (EBNF, keywords case-insensitive)::
+
+    select    := SELECT [DISTINCT] items FROM table_ref join* [WHERE expr]
+                 [GROUP BY expr_list] [ORDER BY order_list] [LIMIT int]
+    items     := '*' | item (',' item)*
+    item      := expr [[AS] ident]
+    join      := [INNER] JOIN table_ref ON expr
+    table_ref := ident [[AS] ident]
+    expr      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | comparison
+    comparison:= additive [cmp_op additive
+                 | [NOT] BETWEEN additive AND additive
+                 | [NOT] IN '(' literal (',' literal)* ')']
+    additive  := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/') unary)*
+    unary     := '-' unary | primary
+    primary   := literal | func_call | column_ref | '(' expr ')' | '*'
+
+Operator precedence therefore matches standard SQL.  The parser performs
+no name resolution; that is the binder's job.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError, UnsupportedSQLError
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    JoinClause,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.lexer import Token, tokenize_sql
+
+_CMP_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    """Stateful cursor over the token stream."""
+
+    def __init__(self, tokens: list[Token], sql: str) -> None:
+        self.tokens = tokens
+        self.sql = sql
+        self.pos = 0
+
+    # ------------------------------------------------------------- cursor
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        tok = self.peek()
+        if not tok.is_keyword(word):
+            raise SQLSyntaxError(
+                f"expected {word.upper()}, found {tok.text or 'end of input'!r}",
+                tok.position,
+            )
+        return self.advance()
+
+    def accept_op(self, op: str) -> bool:
+        if self.peek().is_op(op):
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> Token:
+        tok = self.peek()
+        if not tok.is_op(op):
+            raise SQLSyntaxError(
+                f"expected {op!r}, found {tok.text or 'end of input'!r}", tok.position
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "ident":
+            raise SQLSyntaxError(
+                f"expected identifier, found {tok.text or 'end of input'!r}",
+                tok.position,
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------ grammar
+
+    def parse_select(self) -> SelectStmt:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        items = self._select_items()
+        table = None
+        joins: list[JoinClause] = []
+        if self.accept_keyword("from"):
+            table = self._table_ref()
+            while True:
+                if self.accept_keyword("inner"):
+                    self.expect_keyword("join")
+                elif not self.accept_keyword("join"):
+                    break
+                join_table = self._table_ref()
+                self.expect_keyword("on")
+                on = self.parse_expr()
+                if not isinstance(on, BinaryOp) or on.op != "=":
+                    raise UnsupportedSQLError(
+                        "only inner equi-joins (ON a = b) are supported"
+                    )
+                joins.append(JoinClause(join_table, on))
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expr()
+        group_by: list = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.parse_expr())
+            while self.accept_op(","):
+                group_by.append(self.parse_expr())
+        having = None
+        if self.accept_keyword("having"):
+            if not group_by:
+                raise UnsupportedSQLError("HAVING requires GROUP BY")
+            having = self.parse_expr()
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self._order_item())
+            while self.accept_op(","):
+                order_by.append(self._order_item())
+        limit = None
+        if self.accept_keyword("limit"):
+            tok = self.peek()
+            if tok.kind != "number" or "." in tok.text:
+                raise SQLSyntaxError("LIMIT expects an integer", tok.position)
+            self.advance()
+            limit = int(tok.text)
+        tail = self.peek()
+        if tail.kind != "eof":
+            raise SQLSyntaxError(
+                f"unexpected trailing input {tail.text!r}", tail.position
+            )
+        return SelectStmt(
+            items=items,
+            table=table,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _select_items(self) -> list[SelectItem]:
+        items = [self._select_item()]
+        while self.accept_op(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        if self.peek().is_op("*"):
+            self.advance()
+            return SelectItem(Star())
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident().text
+        elif self.peek().kind == "ident":
+            alias = self.advance().text
+        return SelectItem(expr, alias)
+
+    def _table_ref(self) -> TableRef:
+        name = self.expect_ident().text
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident().text
+        elif self.peek().kind == "ident":
+            alias = self.advance().text
+        return TableRef(name, alias)
+
+    def _order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("desc"):
+            descending = True
+        else:
+            self.accept_keyword("asc")
+        return OrderItem(expr, descending)
+
+    # --------------------------------------------------------- expressions
+
+    def parse_expr(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self.accept_keyword("or"):
+            left = BinaryOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self):
+        left = self._not_expr()
+        while self.accept_keyword("and"):
+            left = BinaryOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self):
+        if self.accept_keyword("not"):
+            return UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self):
+        left = self._additive()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in _CMP_OPS:
+            self.advance()
+            op = "!=" if tok.text == "<>" else tok.text
+            return BinaryOp(op, left, self._additive())
+        negated = False
+        if tok.is_keyword("not"):
+            nxt = self.tokens[self.pos + 1]
+            if nxt.is_keyword("between") or nxt.is_keyword("in"):
+                self.advance()
+                negated = True
+                tok = self.peek()
+        if tok.is_keyword("between"):
+            self.advance()
+            lo = self._additive()
+            self.expect_keyword("and")
+            hi = self._additive()
+            between = BinaryOp("and", BinaryOp(">=", left, lo), BinaryOp("<=", left, hi))
+            return UnaryOp("not", between) if negated else between
+        if tok.is_keyword("in"):
+            self.advance()
+            self.expect_op("(")
+            values = [self._additive()]
+            while self.accept_op(","):
+                values.append(self._additive())
+            self.expect_op(")")
+            return InList(left, tuple(values), negated=negated)
+        if negated:  # pragma: no cover - defensive
+            raise SQLSyntaxError("dangling NOT", tok.position)
+        return left
+
+    def _additive(self):
+        left = self._multiplicative()
+        while True:
+            if self.accept_op("+"):
+                left = BinaryOp("+", left, self._multiplicative())
+            elif self.accept_op("-"):
+                left = BinaryOp("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self):
+        left = self._unary()
+        while True:
+            if self.accept_op("*"):
+                left = BinaryOp("*", left, self._unary())
+            elif self.accept_op("/"):
+                left = BinaryOp("/", left, self._unary())
+            else:
+                return left
+
+    def _unary(self):
+        if self.accept_op("-"):
+            operand = self._unary()
+            if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                return Literal(-operand.value)
+            return UnaryOp("-", operand)
+        return self._primary()
+
+    def _primary(self):
+        tok = self.peek()
+        if tok.kind == "number":
+            self.advance()
+            text = tok.text
+            if "." in text or "e" in text or "E" in text:
+                return Literal(float(text))
+            return Literal(int(text))
+        if tok.kind == "string":
+            self.advance()
+            return Literal(tok.text)
+        if tok.is_op("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+        if tok.is_op("*"):
+            self.advance()
+            return Star()
+        if tok.kind == "ident":
+            name = self.advance().text
+            if self.peek().is_op("("):
+                self.advance()
+                distinct = self.accept_keyword("distinct")
+                args: list = []
+                if not self.peek().is_op(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_op(","):
+                        args.append(self.parse_expr())
+                self.expect_op(")")
+                return FuncCall(name.lower(), tuple(args), distinct=distinct)
+            if self.accept_op("."):
+                col = self.expect_ident().text
+                return ColumnRef(col, table=name)
+            return ColumnRef(name)
+        raise SQLSyntaxError(
+            f"unexpected token {tok.text or 'end of input'!r}", tok.position
+        )
+
+
+def parse_sql(sql: str) -> SelectStmt:
+    """Parse one SELECT statement; raises :class:`SQLSyntaxError` on junk."""
+    tokens = tokenize_sql(sql)
+    if tokens[0].kind == "eof":
+        raise SQLSyntaxError("empty query", 0)
+    return _Parser(tokens, sql).parse_select()

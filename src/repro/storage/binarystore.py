@@ -1,0 +1,132 @@
+"""On-disk binary column store (the engine's "internal format").
+
+A real DBMS's loading cost is not just tokenizing and parsing: the loader
+*writes the data back out* in the system's internal format (MonetDB's BATs)
+— which is exactly why the paper's Figure 1a loading curve stops scaling
+gracefully once tables outgrow memory.  :class:`BinaryStore` is that
+internal format here: one little-endian binary file per column plus a
+manifest, written when ``EngineConfig.persist_loads`` is on.
+
+It also provides the *cold run* story of Figure 1b: a fresh engine pointed
+at a warm binary store restores columns with a cheap binary read instead of
+re-parsing the CSV — fast, but measurably slower than the hot engine whose
+arrays are already in RAM.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FlatFileError
+from repro.flatfile.schema import DataType
+
+
+@dataclass
+class BinaryStoreStats:
+    """I/O accounting for binary reads/writes."""
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    columns_written: int = 0
+    columns_read: int = 0
+
+
+@dataclass
+class BinaryStore:
+    """Directory of binary column files, one subdirectory per table."""
+
+    directory: Path
+    write_bandwidth_bytes_per_sec: float | None = None
+    read_bandwidth_bytes_per_sec: float | None = None
+    stats: BinaryStoreStats = field(default_factory=BinaryStoreStats)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -------------------------------------------------------------- paths
+
+    def _table_dir(self, table: str) -> Path:
+        return self.directory / table.lower()
+
+    def _column_path(self, table: str, column: str) -> Path:
+        return self._table_dir(table) / f"{column.lower()}.bin"
+
+    def _manifest_path(self, table: str) -> Path:
+        return self._table_dir(table) / "manifest.json"
+
+    # ------------------------------------------------------------ writing
+
+    def save(self, table: str, column: str, dtype: DataType, values: np.ndarray) -> None:
+        """Persist one fully loaded column."""
+        if dtype is DataType.STRING:
+            raise FlatFileError("binary store persists numeric columns only")
+        tdir = self._table_dir(table)
+        tdir.mkdir(parents=True, exist_ok=True)
+        path = self._column_path(table, column)
+        data = np.ascontiguousarray(values, dtype=dtype.numpy_dtype)
+        data.tofile(path)
+        self.stats.bytes_written += data.nbytes
+        self.stats.columns_written += 1
+        if self.write_bandwidth_bytes_per_sec:
+            time.sleep(data.nbytes / self.write_bandwidth_bytes_per_sec)
+        manifest = self._read_manifest(table)
+        manifest["nrows"] = int(len(values))
+        manifest.setdefault("columns", {})[column.lower()] = dtype.value
+        self._manifest_path(table).write_text(json.dumps(manifest))
+
+    # ------------------------------------------------------------ reading
+
+    def _read_manifest(self, table: str) -> dict:
+        path = self._manifest_path(table)
+        if not path.exists():
+            return {}
+        return json.loads(path.read_text())
+
+    def nrows(self, table: str) -> int | None:
+        manifest = self._read_manifest(table)
+        return manifest.get("nrows")
+
+    def has(self, table: str, column: str) -> bool:
+        manifest = self._read_manifest(table)
+        return (
+            column.lower() in manifest.get("columns", {})
+            and self._column_path(table, column).exists()
+        )
+
+    def load(self, table: str, column: str) -> np.ndarray:
+        """Read one column back from disk (the cold-run path)."""
+        manifest = self._read_manifest(table)
+        try:
+            dtype_name = manifest["columns"][column.lower()]
+        except KeyError:
+            raise FlatFileError(
+                f"binary store has no column {table}.{column}"
+            ) from None
+        dtype = DataType(dtype_name)
+        path = self._column_path(table, column)
+        values = np.fromfile(path, dtype=dtype.numpy_dtype)
+        self.stats.bytes_read += values.nbytes
+        self.stats.columns_read += 1
+        if self.read_bandwidth_bytes_per_sec:
+            time.sleep(values.nbytes / self.read_bandwidth_bytes_per_sec)
+        return values
+
+    # ----------------------------------------------------------- clearing
+
+    def drop_table(self, table: str) -> None:
+        tdir = self._table_dir(table)
+        if tdir.exists():
+            for f in tdir.iterdir():
+                f.unlink()
+            tdir.rmdir()
+
+    def bytes_on_disk(self) -> int:
+        return sum(
+            f.stat().st_size for f in self.directory.rglob("*.bin") if f.is_file()
+        )

@@ -1,0 +1,127 @@
+"""The catalog: attached flat files and everything learned about them.
+
+Attaching a file is the *only* preparation step the paper's vision allows
+("all you need to do to use it, is point to your data").  Accordingly,
+:meth:`Catalog.attach` does no I/O beyond an existence check.  Schema
+detection, row counting, positional-map learning and loading all happen
+lazily, as side effects of queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import CatalogError
+from repro.flatfile.files import FileFingerprint, FlatFile
+from repro.flatfile.positions import PositionalMap
+from repro.flatfile.schema import TableSchema, infer_schema, looks_like_header
+from repro.storage.table import Table
+
+
+@dataclass
+class TableEntry:
+    """Catalog record of one attached flat file."""
+
+    name: str
+    file: FlatFile
+    schema: TableSchema | None = None
+    has_header: bool = False
+    table: Table | None = None
+    positional_map: PositionalMap = field(default_factory=PositionalMap)
+    loaded_fingerprint: FileFingerprint | None = None
+
+    # -------------------------------------------------------------- schema
+
+    def ensure_schema(self) -> TableSchema:
+        """Infer the schema on first use (paper section 5.6)."""
+        if self.schema is None:
+            rows = self.file.sample_rows()
+            if not rows:
+                raise CatalogError(f"file {self.file.path} is empty")
+            second = rows[1] if len(rows) > 1 else None
+            self.has_header = looks_like_header(rows[0], second)
+            if self.has_header:
+                header, body = rows[0], rows[1:]
+                if not body:
+                    raise CatalogError(f"file {self.file.path} has a header but no data")
+                self.schema = infer_schema(body, header=header)
+            else:
+                self.schema = infer_schema(rows)
+        return self.schema
+
+    def ensure_table(self, nrows: int) -> Table:
+        """Create the adaptive-store table once the row count is known."""
+        if self.table is None:
+            self.table = Table(self.name, self.ensure_schema(), nrows)
+            self.loaded_fingerprint = self.file.fingerprint()
+        elif self.table.nrows != nrows:
+            raise CatalogError(
+                f"table {self.name!r}: row count changed from {self.table.nrows} to {nrows}"
+            )
+        return self.table
+
+    # -------------------------------------------------------- invalidation
+
+    def is_stale(self) -> bool:
+        """Has the flat file been edited since data was loaded from it?"""
+        if self.loaded_fingerprint is None:
+            return False
+        return self.file.fingerprint() != self.loaded_fingerprint
+
+    def invalidate(self) -> None:
+        """Drop all derived state (loaded data, learned offsets, schema)."""
+        if self.table is not None:
+            self.table.drop_all()
+        self.table = None
+        self.positional_map.clear()
+        self.loaded_fingerprint = None
+        self.schema = None
+
+
+@dataclass
+class Catalog:
+    """All attached tables, by lower-cased name."""
+
+    entries: dict[str, TableEntry] = field(default_factory=dict)
+
+    def attach(
+        self,
+        name: str,
+        path: Path | str,
+        delimiter: str = ",",
+        bandwidth_bytes_per_sec: float | None = None,
+    ) -> TableEntry:
+        key = name.lower()
+        if key in self.entries:
+            raise CatalogError(f"table {name!r} is already attached")
+        entry = TableEntry(
+            name=name,
+            file=FlatFile(
+                Path(path),
+                delimiter=delimiter,
+                bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+            ),
+        )
+        self.entries[key] = entry
+        return entry
+
+    def detach(self, name: str) -> None:
+        key = name.lower()
+        if key not in self.entries:
+            raise CatalogError(f"table {name!r} is not attached")
+        del self.entries[key]
+
+    def get(self, name: str) -> TableEntry:
+        key = name.lower()
+        if key not in self.entries:
+            raise CatalogError(
+                f"table {name!r} is not attached; call attach(name, path) first"
+            )
+        return self.entries[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self.entries
+
+    def names(self) -> list[str]:
+        return [e.name for e in self.entries.values()]

@@ -1,0 +1,192 @@
+"""Physical layout variants for the adaptive store (paper section 5.1).
+
+The adaptive store "may contain data in any format, i.e., row-store,
+column-store, as well as PAX and its variations", with the format of each
+fragment chosen by the queries that loaded it.  This module implements the
+three layouts behind one interface so the adaptive kernel can scan any of
+them, and so the layout ablation bench can measure their trade-offs:
+
+* :class:`ColumnLayout` — one contiguous array per attribute (DSM).  Best
+  for scans touching few attributes; what the paper's prototype uses.
+* :class:`RowLayout` — one NumPy structured array; all attributes of a
+  tuple adjacent (NSM).  Best for wide tuple reconstruction.
+* :class:`PAXLayout` — fixed-size pages, columnar *within* each page
+  (minipages).  Row-locality across pages, column-locality within.
+
+All layouts expose ``column(i)`` (vector for scans), ``row(i)`` (tuple
+reconstruction) and ``take(rows)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.flatfile.schema import DataType
+
+
+def _np_dtype(dtype: DataType) -> np.dtype:
+    if dtype is DataType.STRING:
+        # Structured arrays cannot hold objects cheaply; store as unicode.
+        return np.dtype("U32")
+    return dtype.numpy_dtype
+
+
+class Layout:
+    """Common interface of all physical layouts."""
+
+    names: list[str]
+    dtypes: list[DataType]
+
+    def __len__(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def column(self, index: int) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def row(self, index: int) -> tuple:  # pragma: no cover
+        raise NotImplementedError
+
+    def take(self, rows: np.ndarray) -> list[np.ndarray]:
+        """Reconstruct the given rows, returned column-wise."""
+        return [self.column(i)[rows] for i in range(len(self.names))]
+
+    @property
+    def nbytes(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class ColumnLayout(Layout):
+    """Pure DSM: a list of independent column arrays."""
+
+    names: list[str]
+    dtypes: list[DataType]
+    arrays: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        lengths = {len(a) for a in self.arrays}
+        if len(lengths) > 1:
+            raise ExecutionError(f"ragged column layout: lengths {sorted(lengths)}")
+
+    @classmethod
+    def from_columns(
+        cls, names: Sequence[str], dtypes: Sequence[DataType], arrays: Sequence[np.ndarray]
+    ) -> "ColumnLayout":
+        return cls(list(names), list(dtypes), [np.asarray(a) for a in arrays])
+
+    def __len__(self) -> int:
+        return len(self.arrays[0]) if self.arrays else 0
+
+    def column(self, index: int) -> np.ndarray:
+        return self.arrays[index]
+
+    def row(self, index: int) -> tuple:
+        return tuple(a[index] for a in self.arrays)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self.arrays)
+
+
+@dataclass
+class RowLayout(Layout):
+    """Pure NSM: one structured array, attributes adjacent per tuple."""
+
+    names: list[str]
+    dtypes: list[DataType]
+    records: np.ndarray
+
+    @classmethod
+    def from_columns(
+        cls, names: Sequence[str], dtypes: Sequence[DataType], arrays: Sequence[np.ndarray]
+    ) -> "RowLayout":
+        struct = np.dtype([(n, _np_dtype(t)) for n, t in zip(names, dtypes)])
+        records = np.empty(len(arrays[0]) if arrays else 0, dtype=struct)
+        for name, arr in zip(names, arrays):
+            records[name] = arr
+        return cls(list(names), list(dtypes), records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def column(self, index: int) -> np.ndarray:
+        # NSM pays a gather to produce a contiguous vector — deliberately
+        # reflected here by the copy.
+        return np.ascontiguousarray(self.records[self.names[index]])
+
+    def row(self, index: int) -> tuple:
+        return tuple(self.records[index])
+
+    @property
+    def nbytes(self) -> int:
+        return self.records.nbytes
+
+
+@dataclass
+class PAXLayout(Layout):
+    """PAX: pages of ``page_rows`` tuples, columnar inside each page."""
+
+    names: list[str]
+    dtypes: list[DataType]
+    pages: list[list[np.ndarray]]
+    page_rows: int
+    total_rows: int
+
+    @classmethod
+    def from_columns(
+        cls,
+        names: Sequence[str],
+        dtypes: Sequence[DataType],
+        arrays: Sequence[np.ndarray],
+        page_rows: int = 4096,
+    ) -> "PAXLayout":
+        if page_rows <= 0:
+            raise ExecutionError("page_rows must be positive")
+        n = len(arrays[0]) if arrays else 0
+        pages = []
+        for start in range(0, n, page_rows):
+            end = min(start + page_rows, n)
+            pages.append([np.asarray(a[start:end]) for a in arrays])
+        return cls(list(names), list(dtypes), pages, page_rows, n)
+
+    def __len__(self) -> int:
+        return self.total_rows
+
+    def column(self, index: int) -> np.ndarray:
+        if not self.pages:
+            return np.empty(0)
+        return np.concatenate([page[index] for page in self.pages])
+
+    def row(self, index: int) -> tuple:
+        page, off = divmod(index, self.page_rows)
+        return tuple(mini[off] for mini in self.pages[page])
+
+    @property
+    def nbytes(self) -> int:
+        return sum(mini.nbytes for page in self.pages for mini in page)
+
+
+LAYOUTS = {
+    "column": ColumnLayout,
+    "row": RowLayout,
+    "pax": PAXLayout,
+}
+
+
+def build_layout(
+    kind: str,
+    names: Sequence[str],
+    dtypes: Sequence[DataType],
+    arrays: Sequence[np.ndarray],
+    **kwargs,
+) -> Layout:
+    """Factory over :data:`LAYOUTS` (used by the adaptive-kernel bench)."""
+    try:
+        cls = LAYOUTS[kind]
+    except KeyError:
+        raise ExecutionError(f"unknown layout {kind!r}; expected one of {sorted(LAYOUTS)}")
+    return cls.from_columns(names, dtypes, arrays, **kwargs)

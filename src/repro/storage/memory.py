@@ -1,0 +1,139 @@
+"""Adaptive-store memory budget and eviction (paper section 5.1.3).
+
+The paper frames loaded data as disposable: "data parts loaded via adaptive
+loading ... may be thrown away at any time.  The only cost is that of
+having to reload this data part if it is needed again in the future."
+
+:class:`MemoryManager` enforces a byte budget over registered fragments
+(one fragment = one partial column).  When a charge would exceed the
+budget, least-recently-used fragments are dropped — via the eviction
+callback their owner registered — until the charge fits.  A fragment larger
+than the whole budget is admitted alone and evicted as soon as anything
+else needs room; refusing it outright would make queries unanswerable,
+which the paper never allows (robustness, section 5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class FragmentInfo:
+    """Book-keeping for one evictable fragment."""
+
+    key: tuple[str, str]
+    nbytes: int
+    last_used: int
+    dropper: Callable[[], None]
+    pinned: bool = False
+
+
+@dataclass
+class MemoryStats:
+    """Eviction activity counters."""
+
+    evictions: int = 0
+    bytes_evicted: int = 0
+    peak_bytes: int = 0
+
+
+@dataclass
+class MemoryManager:
+    """LRU/FIFO budget manager over adaptive-store fragments."""
+
+    budget_bytes: int | None = None
+    policy: str = "lru"
+    fragments: dict[tuple[str, str], FragmentInfo] = field(default_factory=dict)
+    stats: MemoryStats = field(default_factory=MemoryStats)
+    _clock: int = 0
+
+    # ------------------------------------------------------------- charges
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(f.nbytes for f in self.fragments.values())
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def register(
+        self,
+        key: tuple[str, str],
+        nbytes: int,
+        dropper: Callable[[], None],
+        pinned: bool = False,
+    ) -> None:
+        """Register or resize a fragment and make room for it.
+
+        ``dropper`` is called (outside any lock; the engine is
+        single-writer) when the manager decides to evict the fragment; it
+        must release the owner's data so a future query reloads it.
+        """
+        tick = self._tick()
+        existing = self.fragments.get(key)
+        if existing is not None:
+            existing.nbytes = nbytes
+            existing.last_used = tick
+            existing.dropper = dropper
+            existing.pinned = pinned
+        else:
+            self.fragments[key] = FragmentInfo(key, nbytes, tick, dropper, pinned)
+        self._enforce(exclude=key)
+        self.stats.peak_bytes = max(self.stats.peak_bytes, self.resident_bytes)
+
+    def touch(self, key: tuple[str, str]) -> None:
+        frag = self.fragments.get(key)
+        if frag is not None and self.policy == "lru":
+            frag.last_used = self._tick()
+
+    def forget(self, key: tuple[str, str]) -> None:
+        """Remove book-keeping without calling the dropper (owner dropped)."""
+        self.fragments.pop(key, None)
+
+    # -------------------------------------------------------------- pinning
+
+    def pin(self, key: tuple[str, str]) -> None:
+        """Protect a fragment from eviction until :meth:`release_pins`.
+
+        The engine pins every fragment the *current* query needs so that
+        loading one of the query's columns can never evict another: a query
+        must always be able to hold its own working set (robustness, paper
+        section 5.5).
+        """
+        frag = self.fragments.get(key)
+        if frag is not None:
+            frag.pinned = True
+
+    def release_pins(self) -> None:
+        """Unpin everything and re-enforce the budget."""
+        for frag in self.fragments.values():
+            frag.pinned = False
+        self._enforce()
+
+    # ------------------------------------------------------------ eviction
+
+    def _enforce(self, exclude: tuple[str, str] | None = None) -> None:
+        if self.budget_bytes is None:
+            return
+        while self.resident_bytes > self.budget_bytes:
+            victims = [
+                f
+                for f in self.fragments.values()
+                if not f.pinned and f.key != exclude
+            ]
+            if not victims:
+                # Only the newcomer (or pinned data) remains: admit it and
+                # stop — a query must always be able to hold its own data.
+                break
+            victim = min(victims, key=lambda f: f.last_used)
+            del self.fragments[victim.key]
+            self.stats.evictions += 1
+            self.stats.bytes_evicted += victim.nbytes
+            victim.dropper()
+
+    def enforce(self) -> None:
+        """Re-check the budget (called after pins are released)."""
+        self._enforce(exclude=None)

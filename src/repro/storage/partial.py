@@ -1,0 +1,178 @@
+"""Partially-loaded columns and their coverage table of contents.
+
+This is the storage side of Partial Loads V2 (paper section 4.2): a column
+whose values are materialized only for some rows, together with a sound
+record of *which queries* those rows are guaranteed to answer.
+
+The record is a list of :class:`CoverageCertificate`\\ s.  A certificate is
+a conjunctive condition with the meaning:
+
+    every row of the table that satisfies ``condition`` has its value
+    materialized in this column.
+
+Certificates are produced by the adaptive load operators: a partial load
+driven by query ``Q`` stores exactly the rows satisfying ``Q`` and issues a
+certificate with condition ``Q`` for every column it materialized; a full
+column load issues the trivial (always true) certificate.  A later query
+``Q'`` can be answered entirely from the store when, for every column it
+needs, some certificate's condition is implied by ``Q'`` — e.g. repeated
+queries, or "zoom-in" queries whose ranges are subsets of earlier ones,
+exactly the exploratory pattern the paper motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.flatfile.schema import DataType
+from repro.ranges import Condition
+from repro.storage.intervals import IntervalSet
+
+
+@dataclass(frozen=True)
+class CoverageCertificate:
+    """Proof that rows satisfying ``condition`` are materialized."""
+
+    condition: Condition
+
+    def covers_query(self, query: Condition) -> bool:
+        """True when a query implying ``condition`` is fully answerable."""
+        return query.implies(self.condition)
+
+    @property
+    def is_full(self) -> bool:
+        return self.condition.is_trivial()
+
+
+@dataclass
+class PartialColumn:
+    """A column materialized for a subset of rows.
+
+    The backing array always has capacity for all ``nrows`` of the table;
+    positions outside :attr:`loaded` contain garbage and must never be read
+    without consulting :attr:`loaded_mask`.  Logical (budget-accounted)
+    size is proportional to loaded rows only, matching the paper's framing
+    of partial loading as a storage-footprint optimization.
+    """
+
+    name: str
+    dtype: DataType
+    nrows: int
+    values: np.ndarray | None = None
+    loaded: IntervalSet = field(default_factory=IntervalSet)
+    loaded_mask: np.ndarray | None = None
+    certificates: list[CoverageCertificate] = field(default_factory=list)
+
+    def _ensure_backing(self) -> None:
+        if self.values is None:
+            if self.dtype is DataType.STRING:
+                self.values = np.empty(self.nrows, dtype=object)
+            else:
+                self.values = np.zeros(self.nrows, dtype=self.dtype.numpy_dtype)
+            self.loaded_mask = np.zeros(self.nrows, dtype=bool)
+
+    # -------------------------------------------------------------- loading
+
+    def store(self, row_ids: np.ndarray, values: np.ndarray) -> int:
+        """Materialize ``values`` at ``row_ids``; returns rows newly loaded."""
+        if len(row_ids) != len(values):
+            raise ExecutionError(
+                f"store: {len(row_ids)} row ids but {len(values)} values"
+            )
+        if len(row_ids) == 0:
+            return 0
+        self._ensure_backing()
+        before = len(self.loaded)
+        self.values[row_ids] = values
+        self.loaded_mask[row_ids] = True
+        self.loaded = self.loaded.union(IntervalSet.from_indices(row_ids))
+        return len(self.loaded) - before
+
+    def store_full(self, values: np.ndarray) -> int:
+        """Materialize the whole column in one go (column load)."""
+        if len(values) != self.nrows:
+            raise ExecutionError(
+                f"store_full: column has {self.nrows} rows, got {len(values)} values"
+            )
+        self.values = np.asarray(values, dtype=self.dtype.numpy_dtype if self.dtype.is_numeric else object)
+        self.loaded_mask = np.ones(self.nrows, dtype=bool)
+        newly = self.nrows - len(self.loaded)
+        self.loaded = IntervalSet.from_range(0, self.nrows)
+        self.add_certificate(CoverageCertificate(Condition()))
+        return newly
+
+    def add_certificate(self, cert: CoverageCertificate) -> None:
+        """Record coverage, dropping certificates the new one subsumes."""
+        if cert.is_full:
+            self.certificates = [cert]
+            return
+        if any(existing.condition == cert.condition for existing in self.certificates):
+            return
+        if any(existing.is_full for existing in self.certificates):
+            return
+        self.certificates.append(cert)
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def is_fully_loaded(self) -> bool:
+        return len(self.loaded) == self.nrows
+
+    def covers_query(self, query: Condition) -> bool:
+        return any(cert.covers_query(query) for cert in self.certificates)
+
+    def loaded_values(self) -> np.ndarray:
+        """Values at loaded positions, in row order."""
+        if self.values is None:
+            return np.empty(0, dtype=self.dtype.numpy_dtype)
+        return self.values[self.loaded_mask]
+
+    def qualifying_mask(self, interval) -> np.ndarray:
+        """Global row mask of loaded rows whose value lies in ``interval``.
+
+        Positions not loaded are False regardless of backing-array garbage.
+        """
+        if self.values is None:
+            return np.zeros(self.nrows, dtype=bool)
+        if self.dtype is DataType.STRING:
+            member = np.fromiter(
+                (self.loaded_mask[i] and interval.contains_value(self.values[i]) for i in range(self.nrows)),
+                dtype=bool,
+                count=self.nrows,
+            )
+            return member
+        return self.loaded_mask & interval.mask(self.values)
+
+    def values_at(self, row_ids: np.ndarray) -> np.ndarray:
+        """Fetch values at specific rows; raises if any row is not loaded."""
+        if len(row_ids) == 0:
+            return np.empty(0, dtype=self.dtype.numpy_dtype)
+        if self.values is None or not self.loaded_mask[row_ids].all():
+            raise ExecutionError(
+                f"column {self.name!r}: values_at touches rows that are not loaded"
+            )
+        return self.values[row_ids]
+
+    # ----------------------------------------------------------- accounting
+
+    @property
+    def loaded_count(self) -> int:
+        return len(self.loaded)
+
+    @property
+    def logical_nbytes(self) -> int:
+        """Budget-accounted bytes: loaded values only (plus the mask)."""
+        if self.values is None:
+            return 0
+        itemsize = 8 if self.dtype.is_numeric else 24
+        return self.loaded_count * itemsize + (self.nrows // 8)
+
+    def drop(self) -> None:
+        """Evict everything (adaptive-store lifetime management)."""
+        self.values = None
+        self.loaded_mask = None
+        self.loaded = IntervalSet()
+        self.certificates = []

@@ -1,0 +1,61 @@
+"""Loaded tables: named collections of (possibly partial) columns.
+
+A :class:`Table` is the adaptive-store image of one attached flat file.
+It starts completely empty — attaching a file loads nothing — and fills in
+column by column (or fragment by fragment) as queries demand data, which is
+the paper's core inversion: *queries* drive loading, not a load utility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+from repro.flatfile.schema import TableSchema
+from repro.storage.partial import PartialColumn
+
+
+@dataclass
+class Table:
+    """Adaptive-store state for one table."""
+
+    name: str
+    schema: TableSchema
+    nrows: int
+    columns: dict[str, PartialColumn] = field(default_factory=dict)
+
+    def column(self, name: str) -> PartialColumn:
+        """Get-or-create the partial column for ``name``."""
+        key = name.lower()
+        if key not in self.columns:
+            col_schema = self.schema.column(name)
+            self.columns[key] = PartialColumn(
+                name=col_schema.name, dtype=col_schema.dtype, nrows=self.nrows
+            )
+        return self.columns[key]
+
+    def has_column(self, name: str) -> bool:
+        try:
+            self.schema.index_of(name)
+            return True
+        except KeyError:
+            return False
+
+    def loaded_columns(self) -> list[str]:
+        return [c.name for c in self.columns.values() if c.loaded_count > 0]
+
+    def fully_loaded_columns(self) -> list[str]:
+        return [c.name for c in self.columns.values() if c.is_fully_loaded]
+
+    @property
+    def logical_nbytes(self) -> int:
+        return sum(c.logical_nbytes for c in self.columns.values())
+
+    def drop_all(self) -> None:
+        """Forget all loaded data (file-edit invalidation, section 5.4)."""
+        self.columns.clear()
+
+    def ensure_known(self, names: list[str]) -> None:
+        for n in names:
+            if not self.has_column(n):
+                raise CatalogError(f"table {self.name!r} has no column {n!r}")

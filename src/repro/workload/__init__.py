@@ -1,0 +1,35 @@
+"""Workload substrate: datasets and query generators for the evaluation.
+
+The paper's experiments all run on tables of uniformly distributed unique
+integers queried by conjunctive range templates (Q1/Q2).  This package
+generates those datasets deterministically (seeded) and produces the exact
+query sequences behind each figure.
+"""
+
+from repro.workload.generator import (
+    TableSpec,
+    generate_columns,
+    generate_join_pair,
+    materialize_csv,
+)
+from repro.workload.queries import (
+    RangeQuery,
+    exploration_sequence,
+    figure3_sequence,
+    figure4_sequence,
+    make_q1,
+    make_q2,
+)
+
+__all__ = [
+    "RangeQuery",
+    "TableSpec",
+    "exploration_sequence",
+    "figure3_sequence",
+    "figure4_sequence",
+    "generate_columns",
+    "generate_join_pair",
+    "make_q1",
+    "make_q2",
+    "materialize_csv",
+]

@@ -1,0 +1,37 @@
+"""Tests for the MySQL-CSV-engine baseline."""
+
+import pytest
+
+from repro import CSVEngine, NoDBEngine
+
+
+@pytest.fixture
+def csv_engine(small_csv):
+    engine = CSVEngine()
+    engine.attach("r", small_csv)
+    yield engine
+    engine.close()
+
+
+def test_results_match_default_engine(csv_engine, small_csv):
+    db = NoDBEngine()
+    db.attach("r", small_csv)
+    sql = "select sum(a1), avg(a3) from r where a1 > 50 and a1 < 450"
+    assert csv_engine.query(sql).approx_equal(db.query(sql))
+    db.close()
+
+
+def test_constant_cost_profile(csv_engine):
+    sql = "select sum(a1) from r where a1 > 50 and a1 < 450"
+    for _ in range(3):
+        csv_engine.query(sql)
+    queries = csv_engine.stats.queries
+    assert all(q.went_to_file for q in queries)
+    assert len({q.file_bytes_read for q in queries}) == 1  # same bytes every time
+    parse_counts = {q.parse.values_parsed for q in queries}
+    assert len(parse_counts) == 1  # no learning, no caching
+
+
+def test_policy_is_external(csv_engine):
+    csv_engine.query("select count(*) from r")
+    assert csv_engine.stats.last().policy == "external"

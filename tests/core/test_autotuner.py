@@ -1,0 +1,97 @@
+"""Tests for policy switching and the auto-tuning loop (section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, NoDBEngine
+from repro.core.autotuner import AutoTuningEngine
+
+SQL = "select sum(a1), avg(a2) from r where a1 > 50 and a1 < 300"
+
+
+class TestSetPolicy:
+    def test_switch_preserves_answers(self, engine_factory):
+        engine = engine_factory("external")
+        before = engine.query(SQL)
+        engine.set_policy("column_loads")
+        after = engine.query(SQL)
+        again = engine.query(SQL)
+        assert before.approx_equal(after)
+        assert engine.stats.last().served_from_store
+
+    def test_switch_keeps_loaded_store(self, engine_factory):
+        engine = engine_factory("fullload")
+        engine.query(SQL)
+        engine.set_policy("partial_v2")
+        engine.query(SQL)
+        q = engine.stats.last()
+        assert q.served_from_store  # full certificates survive the switch
+        assert q.file_bytes_read == 0
+
+    def test_partial_fragments_superseded_by_column_loads(self, engine_factory):
+        engine = engine_factory("partial_v2")
+        engine.query(SQL)
+        engine.set_policy("column_loads")
+        result = engine.query(SQL)
+        table = engine.catalog.get("r").table
+        assert sorted(table.fully_loaded_columns()) == ["a1", "a2"]
+        ref = engine_factory("fullload").query(SQL)
+        assert result.approx_equal(ref)
+
+    def test_unknown_policy_rejected_without_corruption(self, engine_factory):
+        engine = engine_factory("column_loads")
+        with pytest.raises(ValueError):
+            engine.set_policy("voodoo")
+        assert engine.config.policy == "column_loads"
+        engine.query(SQL)  # still works
+
+    def test_noop_switch(self, engine_factory):
+        engine = engine_factory("column_loads")
+        engine.set_policy("column_loads")
+        assert engine.config.policy == "column_loads"
+
+
+class TestAutoTuningEngine:
+    def test_switches_away_from_stateless_on_repeats(self, small_csv):
+        with AutoTuningEngine(
+            EngineConfig(policy="external"), cooldown=8
+        ) as auto:
+            auto.attach("r", small_csv)
+            results = [auto.query(SQL) for _ in range(12)]
+            assert auto.policy == "splitfiles"
+            assert len(auto.switches) == 1
+            switch = auto.switches[0]
+            assert switch.from_policy == "external"
+            assert "re-read" in switch.reason
+            # Every answer identical before/after the switch.
+            assert all(r.approx_equal(results[0]) for r in results)
+
+    def test_no_switch_for_healthy_policy(self, small_csv):
+        with AutoTuningEngine(
+            EngineConfig(policy="column_loads"), cooldown=4
+        ) as auto:
+            auto.attach("r", small_csv)
+            for _ in range(12):
+                auto.query(SQL)
+            assert auto.policy == "column_loads"
+            assert not auto.switches
+
+    def test_cooldown_prevents_flapping(self, small_csv):
+        with AutoTuningEngine(
+            EngineConfig(policy="external"), cooldown=50
+        ) as auto:
+            auto.attach("r", small_csv)
+            for _ in range(20):
+                auto.query(SQL)
+            # Advice exists, but the cooldown hasn't elapsed yet.
+            assert not auto.switches
+            assert auto.policy == "external"
+
+    def test_switch_log_records_query_index(self, small_csv):
+        with AutoTuningEngine(
+            EngineConfig(policy="external"), cooldown=8
+        ) as auto:
+            auto.attach("r", small_csv)
+            for _ in range(10):
+                auto.query(SQL)
+            assert auto.switches[0].query_index == 8

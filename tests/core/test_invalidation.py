@@ -1,0 +1,116 @@
+"""Tests for flat-file edit detection and derived-data invalidation (5.4).
+
+"Every time a flat file is updated, we can simply drop all relevant tables
+that have been created with data from this file."
+"""
+
+import time
+
+import pytest
+
+from repro import EngineConfig, NoDBEngine, StaleFileError
+
+
+@pytest.fixture
+def editable_csv(tmp_path):
+    path = tmp_path / "edit.csv"
+    path.write_text("\n".join(f"{i},{i * 10}" for i in range(50)) + "\n")
+    return path
+
+
+def edit(path, nrows=60):
+    time.sleep(0.02)  # ensure a distinct mtime
+    path.write_text("\n".join(f"{i},{i * 100}" for i in range(nrows)) + "\n")
+
+
+class TestAutoInvalidate:
+    def test_edited_file_reflected_in_answers(self, editable_csv):
+        engine = NoDBEngine(EngineConfig(policy="column_loads"))
+        engine.attach("t", editable_csv)
+        before = engine.query("select sum(a2) from t").scalar()
+        edit(editable_csv)
+        after = engine.query("select sum(a2) from t").scalar()
+        assert before == sum(i * 10 for i in range(50))
+        assert after == sum(i * 100 for i in range(60))
+        engine.close()
+
+    def test_row_count_change_supported(self, editable_csv):
+        engine = NoDBEngine(EngineConfig(policy="partial_v2"))
+        engine.attach("t", editable_csv)
+        engine.query("select count(*) from t")
+        edit(editable_csv, nrows=75)
+        assert engine.query("select count(*) from t").scalar() == 75
+        engine.close()
+
+    def test_store_dropped_on_edit(self, editable_csv):
+        engine = NoDBEngine(EngineConfig(policy="column_loads"))
+        engine.attach("t", editable_csv)
+        engine.query("select sum(a1) from t")
+        assert engine.catalog.get("t").table is not None
+        edit(editable_csv)
+        engine.query("select sum(a1) from t")
+        q = engine.stats.last()
+        assert q.went_to_file  # reload happened
+        engine.close()
+
+    def test_split_files_invalidated(self, editable_csv, tmp_path):
+        engine = NoDBEngine(
+            EngineConfig(policy="splitfiles", splitfile_dir=tmp_path / "s")
+        )
+        engine.attach("t", editable_csv)
+        engine.query("select sum(a2) from t")
+        split_files = list((tmp_path / "s").iterdir())
+        assert split_files
+        edit(editable_csv)
+        result = engine.query("select sum(a2) from t")
+        assert result.scalar() == sum(i * 100 for i in range(60))
+        engine.close()
+
+    def test_binary_store_invalidated(self, editable_csv, tmp_path):
+        cfg = EngineConfig(
+            policy="fullload",
+            persist_loads=True,
+            binary_store_dir=tmp_path / "bin",
+        )
+        engine = NoDBEngine(cfg)
+        engine.attach("t", editable_csv)
+        engine.query("select sum(a2) from t")
+        assert engine.binary_store.has("t", "a2")
+        edit(editable_csv)
+        assert engine.query("select sum(a2) from t").scalar() == sum(
+            i * 100 for i in range(60)
+        )
+        engine.close()
+
+    def test_memory_manager_forgets_dropped_fragments(self, editable_csv):
+        engine = NoDBEngine(EngineConfig(policy="column_loads"))
+        engine.attach("t", editable_csv)
+        engine.query("select sum(a1) from t")
+        assert engine.memory.resident_bytes > 0
+        edit(editable_csv)
+        engine.query("select sum(a1) from t")
+        # No stale fragments: resident equals the freshly loaded column.
+        assert len(engine.memory.fragments) == 1
+        engine.close()
+
+
+class TestManualMode:
+    def test_stale_raises_when_auto_disabled(self, editable_csv):
+        engine = NoDBEngine(
+            EngineConfig(policy="column_loads", auto_invalidate=False)
+        )
+        engine.attach("t", editable_csv)
+        engine.query("select sum(a1) from t")
+        edit(editable_csv)
+        with pytest.raises(StaleFileError):
+            engine.query("select sum(a1) from t")
+        engine.close()
+
+    def test_unloaded_table_never_stale(self, editable_csv):
+        engine = NoDBEngine(
+            EngineConfig(policy="column_loads", auto_invalidate=False)
+        )
+        engine.attach("t", editable_csv)
+        edit(editable_csv)
+        engine.query("select sum(a1) from t")  # first load after the edit: fine
+        engine.close()

@@ -1,0 +1,98 @@
+"""Direct unit tests for the adaptive load passes."""
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.loader import (
+    column_load_pass,
+    external_pass,
+    full_load_pass,
+    partial_load_pass,
+)
+from repro.ranges import Condition, ValueInterval
+from repro.storage.catalog import Catalog
+
+
+@pytest.fixture
+def entry(tmp_path):
+    path = tmp_path / "t.csv"
+    rows = [f"{i},{i * 2},{i * 3},{i * 4}" for i in range(100)]
+    path.write_text("\n".join(rows) + "\n")
+    return Catalog().attach("t", path)
+
+
+CONFIG = EngineConfig()
+
+
+class TestFullLoad:
+    def test_loads_everything(self, entry):
+        result = full_load_pass(entry, CONFIG)
+        assert result.nrows == 100
+        assert set(result.columns) == {"a1", "a2", "a3", "a4"}
+        assert result.is_full_rows
+        assert result.columns["a3"].tolist() == [i * 3 for i in range(100)]
+        assert result.parse.values_parsed == 400
+
+
+class TestColumnLoad:
+    def test_loads_requested_only(self, entry):
+        result = column_load_pass(entry, ["a2", "a4"], CONFIG)
+        assert set(result.columns) == {"a2", "a4"}
+        assert result.is_full_rows
+        assert result.parse.values_parsed == 200
+
+    def test_tokenizes_prefix_only(self, entry):
+        result = column_load_pass(entry, ["a1"], CONFIG)
+        # Early abort: one field per row.
+        assert result.tokenizer.fields_tokenized == 100
+
+
+class TestPartialLoad:
+    def test_pushdown_filters_rows(self, entry):
+        condition = Condition([("a1", ValueInterval(10, 20))])
+        result = partial_load_pass(entry, ["a1", "a3"], condition, CONFIG)
+        assert result.row_ids.tolist() == list(range(11, 20))
+        assert result.columns["a3"].tolist() == [i * 3 for i in range(11, 20)]
+        assert not result.is_full_rows
+
+    def test_condition_on_later_column(self, entry):
+        condition = Condition([("a3", ValueInterval(30, 60))])
+        result = partial_load_pass(entry, ["a1", "a3"], condition, CONFIG)
+        assert result.columns["a1"].tolist() == [
+            i for i in range(100) if 30 < i * 3 < 60
+        ]
+
+    def test_trivial_condition_loads_all(self, entry):
+        result = partial_load_pass(entry, ["a1"], Condition(), CONFIG)
+        assert result.is_full_rows
+
+    def test_pushdown_disabled_by_config(self, entry):
+        cfg = EngineConfig(predicate_pushdown=False)
+        condition = Condition([("a1", ValueInterval(10, 20))])
+        result = partial_load_pass(entry, ["a1"], condition, cfg)
+        assert result.is_full_rows  # nothing filtered during load
+
+
+class TestExternalPass:
+    def test_tokenizes_whole_rows(self, entry):
+        result = external_pass(entry, ["a1"], CONFIG)
+        assert result.tokenizer.fields_tokenized == 400  # all fields
+        assert result.parse.values_parsed == 100  # but converts only a1
+
+    def test_row_count_discovered(self, entry):
+        assert external_pass(entry, ["a2"], CONFIG).nrows == 100
+
+
+class TestHeaderHandling:
+    def test_header_skipped_in_all_passes(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("x,y\n1,10\n2,20\n3,30\n")
+        entry = Catalog().attach("h", path)
+        full = full_load_pass(entry, CONFIG)
+        assert full.nrows == 3
+        assert full.columns["x"].tolist() == [1, 2, 3]
+        partial = partial_load_pass(
+            entry, ["y"], Condition([("y", ValueInterval(15, None))]), CONFIG
+        )
+        assert partial.columns["y"].tolist() == [20, 30]

@@ -1,0 +1,75 @@
+"""Tests for adaptive-store lifetime under a memory budget (5.1.3 / 5.5)."""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, NoDBEngine
+
+Q = {
+    "a1": "select sum(a1) from r where a1 > 10 and a1 < 400",
+    "a2": "select sum(a2) from r where a2 > 10 and a2 < 400",
+    "a3": "select sum(a3) from r where a3 > 10 and a3 < 400",
+    "a4": "select sum(a4) from r where a4 > 10 and a4 < 400",
+}
+# One fully loaded 500-row int column costs ~4 KB logical (+ mask).
+ONE_COLUMN = 4500
+
+
+class TestBudgetEnforcement:
+    def test_resident_bytes_within_budget_after_queries(self, engine_factory):
+        budget = 2 * ONE_COLUMN
+        engine = engine_factory("column_loads", memory_budget_bytes=budget)
+        for sql in Q.values():
+            engine.query(sql)
+        assert engine.memory.resident_bytes <= budget
+
+    def test_eviction_happened(self, engine_factory):
+        engine = engine_factory("column_loads", memory_budget_bytes=2 * ONE_COLUMN)
+        for sql in Q.values():
+            engine.query(sql)
+        assert engine.memory.stats.evictions >= 2
+        table = engine.catalog.get("r").table
+        assert len(table.fully_loaded_columns()) <= 2
+
+    def test_evicted_column_reloads_on_demand(self, engine_factory):
+        engine = engine_factory("column_loads", memory_budget_bytes=ONE_COLUMN)
+        first = engine.query(Q["a1"]).scalar()
+        engine.query(Q["a2"])  # evicts a1
+        again = engine.query(Q["a1"])
+        assert engine.stats.last().went_to_file
+        assert again.scalar() == first
+
+    def test_unbounded_never_evicts(self, engine_factory):
+        engine = engine_factory("column_loads")
+        for sql in Q.values():
+            engine.query(sql)
+        assert engine.memory.stats.evictions == 0
+        assert len(engine.catalog.get("r").table.fully_loaded_columns()) == 4
+
+    def test_multi_column_query_larger_than_budget_still_answers(
+        self, engine_factory, small_columns
+    ):
+        engine = engine_factory("column_loads", memory_budget_bytes=ONE_COLUMN)
+        r = engine.query(
+            "select sum(a1), sum(a2), sum(a3), sum(a4) from r"
+        )
+        expected = tuple(int(c.sum()) for c in small_columns)
+        assert r.rows()[0] == expected
+
+    def test_partial_v2_fragments_also_governed(self, engine_factory):
+        engine = engine_factory("partial_v2", memory_budget_bytes=1500)
+        engine.query(Q["a1"])
+        engine.query(Q["a2"])
+        engine.query(Q["a3"])
+        assert engine.memory.resident_bytes <= 1500
+
+
+class TestWorstCaseScenario:
+    def test_never_reused_loads_all_wasted(self, engine_factory):
+        """Paper 5.5: queries that never re-touch loaded parts waste every
+        load; the stats make the waste observable."""
+        engine = engine_factory("column_loads", memory_budget_bytes=ONE_COLUMN)
+        for sql in Q.values():
+            engine.query(sql)
+        assert engine.stats.queries_from_store == 0
+        assert engine.memory.stats.bytes_evicted > 0

@@ -1,0 +1,86 @@
+"""Tests for the robustness monitor (paper section 5.5)."""
+
+from repro import EngineConfig, NoDBEngine
+from repro.core.monitor import RobustnessMonitor
+from repro.core.statistics import QueryStats
+from repro.flatfile.parser import ParseStats
+
+
+def fake_query(went_to_file=True, served_from_store=False, parsed=1000, loaded=0):
+    q = QueryStats()
+    q.went_to_file = went_to_file
+    q.served_from_store = served_from_store
+    q.parse = ParseStats(values_parsed=parsed)
+    q.rows_loaded = loaded
+    return q
+
+
+class TestAdviceHeuristics:
+    def test_quiet_before_window_fills(self):
+        m = RobustnessMonitor(policy="external", window=8)
+        for _ in range(7):
+            m.observe(fake_query())
+        assert m.advise() is None
+
+    def test_stateless_repeated_work_advice(self):
+        m = RobustnessMonitor(policy="external", window=4)
+        for _ in range(4):
+            m.observe(fake_query(parsed=1000))
+        advice = m.advise()
+        assert advice is not None
+        assert advice.switch_to == "splitfiles"
+
+    def test_stateless_varied_workload_no_advice(self):
+        m = RobustnessMonitor(policy="partial_v1", window=4)
+        for parsed in (100, 5000, 40000, 100000):
+            m.observe(fake_query(parsed=parsed))
+        assert m.advise() is None
+
+    def test_v2_never_covered_advice(self):
+        m = RobustnessMonitor(policy="partial_v2", window=4)
+        for _ in range(4):
+            m.observe(fake_query(went_to_file=True, served_from_store=False))
+        advice = m.advise()
+        assert advice is not None
+        assert advice.switch_to == "column_loads"
+
+    def test_v2_with_store_hits_no_advice(self):
+        m = RobustnessMonitor(policy="partial_v2", window=4)
+        for i in range(4):
+            m.observe(fake_query(went_to_file=(i % 2 == 0), served_from_store=(i % 2 == 1)))
+        assert m.advise() is None
+
+    def test_thrashing_advice(self):
+        m = RobustnessMonitor(policy="column_loads", window=4)
+        for i in range(4):
+            m.observe(fake_query(loaded=500), evictions_total=i + 10)
+        advice = m.advise()
+        assert advice is not None
+        assert advice.switch_to == "partial_v1"
+        assert "thrash" in advice.reason
+
+    def test_healthy_caching_no_advice(self):
+        m = RobustnessMonitor(policy="column_loads", window=4)
+        for _ in range(4):
+            m.observe(
+                fake_query(went_to_file=False, served_from_store=True, parsed=0)
+            )
+        assert m.advise() is None
+
+
+class TestEngineIntegration:
+    def test_monitor_fed_by_engine(self, engine_factory):
+        engine = engine_factory("external")
+        sql = "select sum(a1) from r where a1 > 5 and a1 < 100"
+        for _ in range(8):
+            engine.query(sql)
+        advice = engine.monitor.advise()
+        assert advice is not None
+        assert advice.switch_to == "splitfiles"
+
+    def test_well_matched_policy_gets_no_advice(self, engine_factory):
+        engine = engine_factory("column_loads")
+        sql = "select sum(a1) from r where a1 > 5 and a1 < 100"
+        for _ in range(8):
+            engine.query(sql)
+        assert engine.monitor.advise() is None

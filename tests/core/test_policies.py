@@ -1,0 +1,208 @@
+"""Per-policy behaviour tests: what gets loaded, kept, reused.
+
+These tests pin down the *mechanisms* behind the paper's curves — which
+queries touch the file, how much is parsed, what the store retains — rather
+than wall-clock times, which the benches cover.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, NoDBEngine
+
+
+SQL_A12 = "select sum(a1), avg(a2) from r where a1 > 100 and a1 < 260 and a2 > 150 and a2 < 310"
+SQL_A34 = "select sum(a3), avg(a4) from r where a3 > 100 and a3 < 260 and a4 > 150 and a4 < 310"
+SQL_ZOOM = "select sum(a1), avg(a2) from r where a1 > 120 and a1 < 240 and a2 > 160 and a2 < 300"
+
+
+class TestFullLoad:
+    def test_first_query_loads_everything(self, engine_factory):
+        engine = engine_factory("fullload")
+        engine.query(SQL_A12)
+        table = engine.catalog.get("r").table
+        assert sorted(table.fully_loaded_columns()) == ["a1", "a2", "a3", "a4"]
+        assert engine.stats.last().parse.values_parsed == 4 * 500
+
+    def test_second_query_touches_nothing(self, engine_factory):
+        engine = engine_factory("fullload")
+        engine.query(SQL_A12)
+        engine.query(SQL_A34)
+        q = engine.stats.last()
+        assert q.served_from_store
+        assert q.file_bytes_read == 0
+        assert q.parse.values_parsed == 0
+
+
+class TestExternal:
+    def test_every_query_reparses(self, engine_factory):
+        engine = engine_factory("external")
+        engine.query(SQL_A12)
+        engine.query(SQL_A12)
+        for q in engine.stats.queries:
+            assert q.went_to_file
+            assert not q.served_from_store
+            assert q.file_bytes_read > 0
+
+    def test_store_stays_empty(self, engine_factory):
+        engine = engine_factory("external")
+        engine.query(SQL_A12)
+        table = engine.catalog.get("r").table
+        assert table.loaded_columns() == []
+
+    def test_tokenizes_whole_rows(self, engine_factory):
+        engine = engine_factory("external")
+        engine.query(SQL_A12)
+        # 4 columns x 500 rows, all tokenized despite needing only 2.
+        assert engine.stats.last().tokenizer.fields_tokenized == 2000
+
+
+class TestColumnLoads:
+    def test_loads_only_needed_columns(self, engine_factory):
+        engine = engine_factory("column_loads")
+        engine.query(SQL_A12)
+        table = engine.catalog.get("r").table
+        assert sorted(table.fully_loaded_columns()) == ["a1", "a2"]
+        assert engine.stats.last().parse.values_parsed == 2 * 500
+
+    def test_workload_shift_loads_increment(self, engine_factory):
+        engine = engine_factory("column_loads")
+        engine.query(SQL_A12)
+        engine.query(SQL_A34)
+        q = engine.stats.last()
+        assert q.went_to_file
+        assert q.parse.values_parsed == 2 * 500
+        table = engine.catalog.get("r").table
+        assert sorted(table.fully_loaded_columns()) == ["a1", "a2", "a3", "a4"]
+
+    def test_repeat_is_store_served(self, engine_factory):
+        engine = engine_factory("column_loads")
+        engine.query(SQL_A12)
+        engine.query(SQL_A12)
+        assert engine.stats.last().served_from_store
+
+    def test_never_loaded_columns_stay_out(self, engine_factory):
+        engine = engine_factory("column_loads")
+        engine.query("select sum(a1) from r")
+        table = engine.catalog.get("r").table
+        assert table.fully_loaded_columns() == ["a1"]
+
+
+class TestPartialV1:
+    def test_nothing_retained(self, engine_factory):
+        engine = engine_factory("partial_v1")
+        engine.query(SQL_A12)
+        table = engine.catalog.get("r").table
+        assert table.loaded_columns() == []
+
+    def test_parses_less_than_column_load(self, engine_factory, small_columns):
+        engine = engine_factory("partial_v1")
+        engine.query(SQL_A12)
+        parsed = engine.stats.last().parse.values_parsed
+        # Pushdown parses a1 for all rows and a2 only where a1 qualifies;
+        # the final materialization parses both fields of qualifying rows.
+        a1, a2 = small_columns[0], small_columns[1]
+        q_a1 = ((a1 > 100) & (a1 < 260)).sum()
+        q_both = ((a1 > 100) & (a1 < 260) & (a2 > 150) & (a2 < 310)).sum()
+        assert parsed == 500 + q_a1 + 2 * q_both
+        assert parsed < 2 * 500  # strictly less than a two-column load
+
+    def test_repeat_query_still_goes_to_file(self, engine_factory):
+        engine = engine_factory("partial_v1")
+        engine.query(SQL_A12)
+        engine.query(SQL_A12)
+        assert all(q.went_to_file for q in engine.stats.queries)
+
+    def test_without_pushdown_parses_all_rows(self, engine_factory):
+        engine = engine_factory("partial_v1", predicate_pushdown=False)
+        engine.query(SQL_A12)
+        assert engine.stats.last().parse.values_parsed == 2 * 500
+
+
+class TestPartialV2:
+    def test_fragments_retained_with_certificates(self, engine_factory):
+        engine = engine_factory("partial_v2")
+        engine.query(SQL_A12)
+        table = engine.catalog.get("r").table
+        a1 = table.columns["a1"]
+        assert 0 < a1.loaded_count < 500
+        assert len(a1.certificates) == 1
+
+    def test_repeat_served_from_store(self, engine_factory):
+        engine = engine_factory("partial_v2")
+        engine.query(SQL_A12)
+        first = engine.query(SQL_A12)
+        q = engine.stats.last()
+        assert q.served_from_store
+        assert q.file_bytes_read == 0
+
+    def test_zoom_in_served_from_store(self, engine_factory):
+        engine = engine_factory("partial_v2")
+        wide = engine.query(SQL_A12)
+        narrow = engine.query(SQL_ZOOM)
+        assert engine.stats.last().served_from_store
+
+    def test_zoom_out_goes_back_to_file(self, engine_factory):
+        engine = engine_factory("partial_v2")
+        engine.query(SQL_ZOOM)
+        engine.query(SQL_A12)  # wider than what is certified
+        assert engine.stats.last().went_to_file
+
+    def test_store_answers_match_file_answers(self, engine_factory):
+        engine = engine_factory("partial_v2")
+        first = engine.query(SQL_A12)
+        second = engine.query(SQL_A12)
+        assert first.approx_equal(second)
+
+    def test_unconditional_query_certifies_full(self, engine_factory):
+        engine = engine_factory("partial_v2")
+        engine.query("select sum(a1) from r")
+        engine.query("select sum(a1) from r where a1 > 3 and a1 < 9")
+        assert engine.stats.last().served_from_store
+
+
+class TestSplitFiles:
+    def test_first_touch_splits(self, engine_factory):
+        engine = engine_factory("splitfiles")
+        engine.query(SQL_A34)  # needs late columns -> splits everything
+        q = engine.stats.last()
+        assert q.split_files_written >= 4
+        split = engine._splits["r"]
+        assert all(h.kind == "single" for h in split.homes.values())
+
+    def test_later_loads_read_single_files(self, engine_factory, small_csv):
+        engine = engine_factory("splitfiles")
+        engine.query(SQL_A34)
+        source_bytes = engine.catalog.get("r").file.stats.bytes_read
+        engine.query(SQL_A12)  # a1, a2 now come from single files
+        assert engine.catalog.get("r").file.stats.bytes_read == source_bytes
+        q = engine.stats.last()
+        assert q.went_to_file  # read split files, not the original
+        assert q.rows_loaded == 1000
+
+    def test_early_columns_split_less(self, engine_factory):
+        engine = engine_factory("splitfiles")
+        engine.query(SQL_A12)  # needs a1,a2: splits a1,a2 + remainder
+        split = engine._splits["r"]
+        assert split.homes[0].kind == "single"
+        assert split.homes[1].kind == "single"
+        assert split.homes[2].kind == "remainder"
+        assert split.homes[3].kind == "remainder"
+
+    def test_remainder_resplit_on_demand(self, engine_factory):
+        engine = engine_factory("splitfiles")
+        engine.query(SQL_A12)
+        engine.query("select sum(a3) from r")
+        split = engine._splits["r"]
+        assert split.homes[2].kind == "single"
+        # a4 moved to a fresh (smaller) remainder, away from the original.
+        assert split.homes[3].kind == "remainder"
+        assert split.homes[3].file.path != split.source.path
+        engine.query("select sum(a4) from r")
+        assert split.homes[3].kind == "single"
+
+    def test_split_results_match(self, engine_factory):
+        a = engine_factory("splitfiles")
+        b = engine_factory("fullload")
+        assert a.query(SQL_A34).approx_equal(b.query(SQL_A34))
+        assert a.query(SQL_A12).approx_equal(b.query(SQL_A12))

@@ -1,0 +1,143 @@
+"""Unit tests for the split-file (file cracking) catalog."""
+
+import numpy as np
+import pytest
+
+from repro.core.splitfile import SplitFileCatalog
+from repro.flatfile.files import FlatFile
+from repro.flatfile.writer import write_csv
+
+
+@pytest.fixture
+def setup(tmp_path):
+    cols = [np.arange(i * 100, i * 100 + 20, dtype=np.int64) for i in range(5)]
+    path = write_csv(tmp_path / "src.csv", cols)
+    catalog = SplitFileCatalog(
+        source=FlatFile(path),
+        directory=tmp_path / "splits",
+        ncols=5,
+        table_key="t",
+    )
+    return catalog, cols
+
+
+def expected_text(col):
+    return [str(v) for v in col]
+
+
+class TestFetch:
+    def test_fetch_from_original(self, setup):
+        catalog, cols = setup
+        result = catalog.fetch_columns([1])
+        assert result.fields[1] == expected_text(cols[1])
+
+    def test_fetch_creates_singles_and_remainder(self, setup):
+        catalog, cols = setup
+        catalog.fetch_columns([1])
+        assert catalog.homes[0].kind == "single"
+        assert catalog.homes[1].kind == "single"
+        for c in (2, 3, 4):
+            assert catalog.homes[c].kind == "remainder"
+        # The three tail columns share one remainder file.
+        assert catalog.homes[2].file is catalog.homes[3].file
+
+    def test_fetch_from_single_exact_bytes(self, setup):
+        catalog, cols = setup
+        catalog.fetch_columns([0])
+        single = catalog.homes[0].file
+        before = single.stats.bytes_read
+        result = catalog.fetch_columns([0])
+        assert result.fields[0] == expected_text(cols[0])
+        assert single.stats.bytes_read - before == single.size_bytes()
+
+    def test_fetch_from_remainder_resplits(self, setup):
+        catalog, cols = setup
+        catalog.fetch_columns([0])  # singles: 0; remainder: 1..4
+        result = catalog.fetch_columns([2])
+        assert result.fields[2] == expected_text(cols[2])
+        assert catalog.homes[1].kind == "single"
+        assert catalog.homes[2].kind == "single"
+        assert catalog.homes[3].kind == "remainder"
+
+    def test_fetch_multiple_mixed_homes(self, setup):
+        catalog, cols = setup
+        catalog.fetch_columns([1])
+        result = catalog.fetch_columns([0, 3])
+        assert result.fields[0] == expected_text(cols[0])
+        assert result.fields[3] == expected_text(cols[3])
+
+    def test_last_column(self, setup):
+        catalog, cols = setup
+        result = catalog.fetch_columns([4])
+        assert result.fields[4] == expected_text(cols[4])
+        assert all(h.kind == "single" for h in catalog.homes.values())
+
+    def test_out_of_range(self, setup):
+        catalog, _ = setup
+        from repro.errors import FlatFileError
+
+        with pytest.raises(FlatFileError):
+            catalog.fetch_columns([7])
+
+
+class TestReassembly:
+    def test_all_columns_recoverable_after_any_split_sequence(self, setup):
+        catalog, cols = setup
+        catalog.fetch_columns([3])
+        catalog.fetch_columns([4])
+        catalog.fetch_columns([0, 2])
+        for i, col in enumerate(cols):
+            got = catalog.fetch_columns([i]).fields[i]
+            assert got == expected_text(col), f"column {i} corrupted by splitting"
+
+
+class TestAccounting:
+    def test_files_written_counted(self, setup):
+        catalog, _ = setup
+        r = catalog.fetch_columns([1])
+        assert r.files_written == 3  # col0, col1 singles + remainder
+        assert catalog.files_written == 3
+
+    def test_bytes_on_disk_grows(self, setup):
+        catalog, _ = setup
+        assert catalog.bytes_on_disk() == 0
+        catalog.fetch_columns([2])
+        assert catalog.bytes_on_disk() > 0
+
+    def test_io_bytes_read_excludes_original(self, setup):
+        catalog, _ = setup
+        catalog.fetch_columns([1])
+        assert catalog.io_bytes_read() == 0  # only the original was read
+        catalog.fetch_columns([1])
+        assert catalog.io_bytes_read() > 0  # now a single file was read
+
+
+class TestDestroy:
+    def test_destroy_removes_files_and_resets(self, setup):
+        catalog, cols = setup
+        catalog.fetch_columns([4])
+        paths = [h.file.path for h in catalog.homes.values()]
+        catalog.destroy()
+        assert all(h.kind == "original" for h in catalog.homes.values())
+        for p in paths:
+            if p != catalog.source.path:
+                assert not p.exists()
+        # Still functional after destroy.
+        got = catalog.fetch_columns([2]).fields[2]
+        assert got == expected_text(cols[2])
+
+
+class TestHeaderedSource:
+    def test_skip_rows_respected(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("x,y\n1,2\n3,4\n")
+        catalog = SplitFileCatalog(
+            source=FlatFile(path),
+            directory=tmp_path / "s",
+            ncols=2,
+            table_key="h",
+            skip_rows=1,
+        )
+        assert catalog.fetch_columns([1]).fields[1] == ["2", "4"]
+        # Singles must not contain the header.
+        assert catalog.fetch_columns([1]).fields[1] == ["2", "4"]

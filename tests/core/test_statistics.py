@@ -1,0 +1,71 @@
+"""Tests for the statistics layer (counters behind every figure)."""
+
+import pytest
+
+from repro.core.statistics import EngineStatistics, QueryStats, Stopwatch
+from repro.flatfile.parser import ParseStats
+from repro.flatfile.tokenizer import TokenizerStats
+
+
+class TestQueryStats:
+    def test_summary_format(self):
+        q = QueryStats(sql="select 1", policy="fullload")
+        q.served_from_store = True
+        q.file_bytes_read = 1234
+        line = q.summary()
+        assert "src=store" in line
+        assert "1234" in line
+
+    def test_tokenizer_merge(self):
+        q = QueryStats()
+        q.tokenizer.merge(TokenizerStats(rows_scanned=10, fields_tokenized=20))
+        q.tokenizer.merge(TokenizerStats(rows_scanned=5, fields_tokenized=5))
+        assert q.tokenizer.rows_scanned == 15
+        assert q.tokenizer.fields_tokenized == 25
+
+    def test_parse_merge(self):
+        q = QueryStats()
+        q.parse.merge(ParseStats(values_parsed=7))
+        q.parse.merge(ParseStats(values_parsed=3))
+        assert q.parse.values_parsed == 10
+
+
+class TestEngineStatistics:
+    def _q(self, bytes_read=0, parsed=0, loaded=0, store=False, file=False):
+        q = QueryStats()
+        q.file_bytes_read = bytes_read
+        q.parse = ParseStats(values_parsed=parsed)
+        q.rows_loaded = loaded
+        q.served_from_store = store
+        q.went_to_file = file
+        return q
+
+    def test_totals(self):
+        stats = EngineStatistics()
+        stats.record(self._q(bytes_read=100, parsed=10, loaded=5, file=True))
+        stats.record(self._q(bytes_read=50, parsed=20, store=True))
+        assert stats.total_file_bytes == 150
+        assert stats.total_values_parsed == 30
+        assert stats.total_rows_loaded == 5
+        assert stats.queries_from_store == 1
+        assert stats.queries_from_file == 1
+
+    def test_last(self):
+        stats = EngineStatistics()
+        with pytest.raises(IndexError):
+            stats.last()
+        q = self._q()
+        stats.record(q)
+        assert stats.last() is q
+
+
+class TestStopwatch:
+    def test_laps_are_disjoint(self):
+        import time
+
+        watch = Stopwatch()
+        time.sleep(0.01)
+        first = watch.lap()
+        second = watch.lap()
+        assert first >= 0.01
+        assert second < first

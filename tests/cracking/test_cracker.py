@@ -1,0 +1,130 @@
+"""Tests for database cracking — invariants and answer correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cracking.cracker import CrackerColumn
+from repro.errors import ExecutionError
+from repro.ranges import ValueInterval
+
+
+class TestCrackBasics:
+    def test_preserves_multiset(self):
+        values = np.array([5, 3, 8, 1, 9, 2])
+        c = CrackerColumn(values)
+        c.crack(5, inclusive=False)
+        assert sorted(c.values.tolist()) == sorted(values.tolist())
+
+    def test_original_array_untouched(self):
+        values = np.array([5, 3, 8])
+        c = CrackerColumn(values)
+        c.crack(5, inclusive=False)
+        assert values.tolist() == [5, 3, 8]
+
+    def test_lt_cut_partitions(self):
+        c = CrackerColumn(np.array([5, 3, 8, 1, 9, 2]))
+        pos = c.crack(5, inclusive=False)
+        assert set(c.values[:pos]) == {3, 1, 2}
+        assert set(c.values[pos:]) == {5, 8, 9}
+
+    def test_le_cut_partitions(self):
+        c = CrackerColumn(np.array([5, 3, 8, 1, 9, 2]))
+        pos = c.crack(5, inclusive=True)
+        assert set(c.values[:pos]) == {3, 1, 2, 5}
+
+    def test_crack_idempotent(self):
+        c = CrackerColumn(np.array([4, 2, 6]))
+        p1 = c.crack(4, inclusive=False)
+        moved = c.stats.rows_moved
+        p2 = c.crack(4, inclusive=False)
+        assert p1 == p2
+        assert c.stats.rows_moved == moved
+
+    def test_rowids_track_values(self):
+        values = np.array([50, 30, 80, 10])
+        c = CrackerColumn(values)
+        c.crack(40, inclusive=False)
+        for v, rid in zip(c.values, c.rowids):
+            assert values[rid] == v
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ExecutionError):
+            CrackerColumn(np.array(["a", "b"], dtype=object))
+
+
+class TestSelect:
+    def test_open_interval(self):
+        c = CrackerColumn(np.arange(100))
+        vals = c.select_values(ValueInterval(10, 20))
+        assert sorted(vals.tolist()) == list(range(11, 20))
+
+    def test_closed_interval(self):
+        c = CrackerColumn(np.arange(100))
+        vals = c.select_values(ValueInterval(10, 20, lo_open=False, hi_open=False))
+        assert sorted(vals.tolist()) == list(range(10, 21))
+
+    def test_half_bounded(self):
+        c = CrackerColumn(np.arange(10))
+        assert sorted(c.select_values(ValueInterval(7, None)).tolist()) == [8, 9]
+        assert sorted(c.select_values(ValueInterval(None, 2)).tolist()) == [0, 1]
+
+    def test_unbounded(self):
+        c = CrackerColumn(np.arange(5))
+        assert len(c.select_values(ValueInterval.unbounded())) == 5
+
+    def test_rowids_answer(self):
+        values = np.array([9, 1, 7, 3, 5])
+        c = CrackerColumn(values)
+        rows = c.select_rowids(ValueInterval(2, 8))
+        assert sorted(values[rows].tolist()) == [3, 5, 7]
+
+    def test_pieces_shrink_work(self):
+        rng = np.random.default_rng(5)
+        c = CrackerColumn(rng.permutation(10000))
+        c.select_values(ValueInterval(1000, 2000))
+        moved_first = c.stats.rows_moved
+        c.select_values(ValueInterval(1200, 1800))
+        moved_second = c.stats.rows_moved - moved_first
+        assert moved_second < moved_first
+
+
+values_lists = st.lists(st.integers(0, 100), min_size=1, max_size=80)
+
+
+class TestCrackingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(values_lists, st.lists(st.tuples(st.integers(0, 100), st.booleans()), max_size=8))
+    def test_invariants_after_crack_sequence(self, values, cracks):
+        c = CrackerColumn(np.array(values, dtype=np.int64))
+        for pivot, inclusive in cracks:
+            c.crack(pivot, inclusive=inclusive)
+        c.check_invariants()
+        assert sorted(c.values.tolist()) == sorted(values)
+        base = np.array(values)
+        assert all(base[r] == v for v, r in zip(c.values, c.rowids))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values_lists,
+        st.lists(
+            st.tuples(
+                st.integers(0, 100), st.integers(0, 100),
+                st.booleans(), st.booleans(),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_select_matches_numpy(self, values, queries):
+        arr = np.array(values, dtype=np.int64)
+        c = CrackerColumn(arr)
+        for lo, hi, lo_open, hi_open in queries:
+            interval = ValueInterval(lo, hi, lo_open=lo_open, hi_open=hi_open)
+            got = sorted(c.select_values(interval).tolist())
+            expected = sorted(arr[interval.mask(arr)].tolist())
+            assert got == expected
+            got_rows = sorted(c.select_rowids(interval).tolist())
+            expected_rows = sorted(np.nonzero(interval.mask(arr))[0].tolist())
+            assert got_rows == expected_rows

@@ -1,0 +1,86 @@
+"""Tests for query execution over cracked columns."""
+
+import numpy as np
+import pytest
+
+from repro.cracking.executor import CrackingExecutor
+from repro.errors import ExecutionError
+from repro.ranges import Condition, ValueInterval
+
+
+@pytest.fixture
+def table():
+    rng = np.random.default_rng(3)
+    return {
+        "a1": rng.permutation(1000).astype(np.int64),
+        "a2": rng.permutation(1000).astype(np.int64),
+    }
+
+
+def q1_condition(lo1, hi1, lo2, hi2):
+    return Condition(
+        [("a1", ValueInterval(lo1, hi1)), ("a2", ValueInterval(lo2, hi2))]
+    )
+
+
+class TestSelect:
+    def test_matches_numpy(self, table):
+        ex = CrackingExecutor(dict(table))
+        cond = q1_condition(100, 400, 200, 900)
+        rows = ex.select_rowids(cond)
+        mask = (
+            (table["a1"] > 100)
+            & (table["a1"] < 400)
+            & (table["a2"] > 200)
+            & (table["a2"] < 900)
+        )
+        assert sorted(rows.tolist()) == np.nonzero(mask)[0].tolist()
+
+    def test_trivial_condition_returns_all(self, table):
+        ex = CrackingExecutor(dict(table))
+        assert len(ex.select_rowids(Condition())) == 1000
+
+    def test_repeated_queries_converge(self, table):
+        ex = CrackingExecutor(dict(table))
+        cond = q1_condition(100, 400, 200, 900)
+        ex.select_rowids(cond)
+        moved_first = ex.crackers["a1"].stats.rows_moved
+        ex.select_rowids(cond)
+        assert ex.crackers["a1"].stats.rows_moved == moved_first
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ExecutionError):
+            CrackingExecutor({"a": np.arange(3), "b": np.arange(4)})
+
+
+class TestAggregate:
+    def test_aggregates_match_numpy(self, table):
+        ex = CrackingExecutor(dict(table))
+        cond = q1_condition(50, 700, 100, 800)
+        result = ex.aggregate(
+            cond, [("sum", "a1"), ("min", "a2"), ("max", "a1"), ("avg", "a2"), ("count", "*")]
+        )
+        mask = (
+            (table["a1"] > 50)
+            & (table["a1"] < 700)
+            & (table["a2"] > 100)
+            & (table["a2"] < 800)
+        )
+        a1, a2 = table["a1"][mask], table["a2"][mask]
+        row = result.rows()[0]
+        assert row[0] == a1.sum()
+        assert row[1] == a2.min()
+        assert row[2] == a1.max()
+        assert row[3] == pytest.approx(a2.mean())
+        assert row[4] == mask.sum()
+
+    def test_count_star_only(self, table):
+        ex = CrackingExecutor(dict(table))
+        r = ex.aggregate(q1_condition(0, 100, 0, 1000), [("count", "*")])
+        mask = (
+            (table["a1"] > 0)
+            & (table["a1"] < 100)
+            & (table["a2"] > 0)
+            & (table["a2"] < 1000)
+        )
+        assert r.scalar() == mask.sum()

@@ -1,0 +1,119 @@
+"""Direct unit tests for vectorized expression evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution.expressions import eval_expr, eval_predicate
+from repro.flatfile.schema import DataType
+from repro.sql.binder import (
+    BAgg,
+    BArith,
+    BColumn,
+    BCompare,
+    BIn,
+    BLiteral,
+    BLogical,
+    BNeg,
+    BNot,
+)
+
+A = BColumn("t", "a", DataType.INT64)
+B = BColumn("t", "b", DataType.FLOAT64)
+DATA = {
+    "a": np.array([1, 2, 3, 4], dtype=np.int64),
+    "b": np.array([0.5, 1.5, 2.5, 3.5]),
+}
+
+
+def resolve(col):
+    return DATA[col.name]
+
+
+def ev(expr):
+    return eval_expr(expr, resolve, 4)
+
+
+class TestLeaves:
+    def test_column(self):
+        assert ev(A).tolist() == [1, 2, 3, 4]
+
+    def test_literal_broadcast(self):
+        assert ev(BLiteral(7)).tolist() == [7, 7, 7, 7]
+
+    def test_negation(self):
+        assert ev(BNeg(A)).tolist() == [-1, -2, -3, -4]
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("+", [1.5, 3.5, 5.5, 7.5]),
+            ("-", [0.5, 0.5, 0.5, 0.5]),
+            ("*", [0.5, 3.0, 7.5, 14.0]),
+        ],
+    )
+    def test_binary_ops(self, op, expected):
+        assert ev(BArith(op, A, B)).tolist() == expected
+
+    def test_division_is_true_division(self):
+        out = ev(BArith("/", A, BLiteral(2)))
+        assert out.tolist() == [0.5, 1.0, 1.5, 2.0]
+
+    def test_unknown_op(self):
+        with pytest.raises(ExecutionError):
+            ev(BArith("%", A, B))
+
+
+class TestComparisons:
+    def test_all_operators(self):
+        cases = {
+            "=": [False, True, False, False],
+            "!=": [True, False, True, True],
+            "<": [True, False, False, False],
+            "<=": [True, True, False, False],
+            ">": [False, False, True, True],
+            ">=": [False, True, True, True],
+        }
+        for op, expected in cases.items():
+            got = eval_predicate(BCompare(op, A, BLiteral(2)), resolve, 4)
+            assert got.tolist() == expected, op
+
+
+class TestLogical:
+    def test_and_or(self):
+        gt1 = BCompare(">", A, BLiteral(1))
+        lt4 = BCompare("<", A, BLiteral(4))
+        assert eval_predicate(BLogical("and", gt1, lt4), resolve, 4).tolist() == [
+            False, True, True, False,
+        ]
+        assert eval_predicate(BLogical("or", gt1, lt4), resolve, 4).tolist() == [
+            True, True, True, True,
+        ]
+
+    def test_not(self):
+        gt2 = BCompare(">", A, BLiteral(2))
+        assert eval_predicate(BNot(gt2), resolve, 4).tolist() == [
+            True, True, False, False,
+        ]
+
+    def test_scalar_mask_broadcast(self):
+        true_pred = BCompare("<", BLiteral(1), BLiteral(2))
+        assert eval_predicate(true_pred, resolve, 4).tolist() == [True] * 4
+
+
+class TestInList:
+    def test_membership(self):
+        expr = BIn(A, (2, 4), negated=False)
+        assert eval_predicate(expr, resolve, 4).tolist() == [False, True, False, True]
+
+    def test_negated(self):
+        expr = BIn(A, (2, 4), negated=True)
+        assert eval_predicate(expr, resolve, 4).tolist() == [True, False, True, False]
+
+
+class TestErrors:
+    def test_aggregate_leaks_are_caught(self):
+        with pytest.raises(ExecutionError, match="aggregate"):
+            ev(BAgg("sum", A))

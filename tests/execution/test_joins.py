@@ -1,0 +1,93 @@
+"""Tests for join algorithms, incl. equivalence properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.execution.joins import hash_join, hash_join_unique, merge_join
+
+
+def brute_force(left, right):
+    return sorted(
+        (i, j)
+        for i, lv in enumerate(left)
+        for j, rv in enumerate(right)
+        if lv == rv
+    )
+
+
+def pairs_of(result):
+    li, ri = result
+    return sorted(zip(li.tolist(), ri.tolist()))
+
+
+class TestHashJoin:
+    def test_simple_match(self):
+        left = np.array([1, 2, 3])
+        right = np.array([2, 3, 4])
+        assert pairs_of(hash_join(left, right)) == [(1, 0), (2, 1)]
+
+    def test_duplicates_cross_product(self):
+        left = np.array([1, 1])
+        right = np.array([1, 1, 1])
+        assert len(pairs_of(hash_join(left, right))) == 6
+
+    def test_empty_sides(self):
+        empty = np.empty(0, dtype=np.int64)
+        some = np.array([1])
+        assert pairs_of(hash_join(empty, some)) == []
+        assert pairs_of(hash_join(some, empty)) == []
+
+    def test_no_matches(self):
+        assert pairs_of(hash_join(np.array([1]), np.array([2]))) == []
+
+
+class TestHashJoinUnique:
+    def test_matches_generic(self):
+        left = np.array([5, 3, 5, 9])
+        right = np.array([3, 5, 7])
+        assert pairs_of(hash_join_unique(left, right)) == pairs_of(
+            hash_join(left, right)
+        )
+
+    def test_rejects_duplicate_right(self):
+        with pytest.raises(ExecutionError):
+            hash_join_unique(np.array([1]), np.array([2, 2]))
+
+
+class TestMergeJoin:
+    def test_simple(self):
+        left = np.array([3, 1, 2])
+        right = np.array([2, 3])
+        assert pairs_of(merge_join(left, right)) == [(0, 1), (2, 0)]
+
+    def test_duplicates(self):
+        left = np.array([1, 1, 2])
+        right = np.array([1, 2, 2])
+        assert pairs_of(merge_join(left, right)) == brute_force(left, right)
+
+
+class TestJoinEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 10), max_size=30),
+        st.lists(st.integers(0, 10), max_size=30),
+    )
+    def test_all_algorithms_agree_with_brute_force(self, left, right):
+        la = np.array(left, dtype=np.int64)
+        ra = np.array(right, dtype=np.int64)
+        expected = brute_force(left, right)
+        assert pairs_of(hash_join(la, ra)) == expected
+        assert pairs_of(merge_join(la, ra)) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 50), max_size=30),
+        st.lists(st.integers(0, 50), max_size=20, unique=True),
+    )
+    def test_unique_join_agrees(self, left, right):
+        la = np.array(left, dtype=np.int64)
+        ra = np.array(right, dtype=np.int64)
+        assert pairs_of(hash_join_unique(la, ra)) == brute_force(left, right)

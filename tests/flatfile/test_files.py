@@ -1,0 +1,87 @@
+"""Tests for flat-file handles, fingerprints and counted reads."""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import FlatFileError
+from repro.flatfile.files import FileFingerprint, FlatFile
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("1,2\n3,4\n5,6\n")
+    return path
+
+
+class TestBasics:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FlatFileError, match="does not exist"):
+            FlatFile(tmp_path / "nope.csv")
+
+    def test_bad_delimiter_rejected(self, csv_file):
+        with pytest.raises(FlatFileError, match="delimiter"):
+            FlatFile(csv_file, delimiter=",,")
+
+    def test_size(self, csv_file):
+        assert FlatFile(csv_file).size_bytes() == len("1,2\n3,4\n5,6\n")
+
+    def test_read_all(self, csv_file):
+        f = FlatFile(csv_file)
+        assert f.read_all() == "1,2\n3,4\n5,6\n"
+
+    def test_read_range(self, csv_file):
+        f = FlatFile(csv_file)
+        assert f.read_range(4, 7) == "3,4"
+
+    def test_bad_range_rejected(self, csv_file):
+        f = FlatFile(csv_file)
+        with pytest.raises(FlatFileError):
+            f.read_range(5, 2)
+        with pytest.raises(FlatFileError):
+            f.read_range(-1, 2)
+
+
+class TestAccounting:
+    def test_bytes_counted(self, csv_file):
+        f = FlatFile(csv_file)
+        f.read_all()
+        f.read_all()
+        assert f.stats.bytes_read == 2 * f.size_bytes()
+        assert f.stats.read_calls == 2
+        assert f.stats.full_scans == 2
+
+    def test_range_reads_not_full_scans(self, csv_file):
+        f = FlatFile(csv_file)
+        f.read_range(0, 3)
+        assert f.stats.full_scans == 0
+        assert f.stats.bytes_read == 3
+
+    def test_sample_rows_bounded(self, csv_file):
+        f = FlatFile(csv_file)
+        rows = f.sample_rows(limit=2)
+        assert rows == [["1", "2"], ["3", "4"]]
+        assert f.stats.bytes_read <= f.size_bytes()
+
+
+class TestThrottle:
+    def test_bandwidth_throttle_sleeps(self, csv_file):
+        size = os.stat(csv_file).st_size
+        f = FlatFile(csv_file, bandwidth_bytes_per_sec=size * 20.0)  # ~50 ms
+        start = time.perf_counter()
+        f.read_all()
+        assert time.perf_counter() - start >= 0.04
+
+
+class TestFingerprint:
+    def test_stable_when_unchanged(self, csv_file):
+        assert FileFingerprint.of(csv_file) == FileFingerprint.of(csv_file)
+
+    def test_changes_on_edit(self, csv_file):
+        before = FileFingerprint.of(csv_file)
+        time.sleep(0.01)
+        csv_file.write_text("9,9\n")
+        after = FileFingerprint.of(csv_file)
+        assert before != after

@@ -1,0 +1,82 @@
+"""Tests for the positional map data structure."""
+
+import numpy as np
+import pytest
+
+from repro.flatfile.positions import PositionalMap
+
+
+class TestRecording:
+    def test_row_offsets_first_writer_wins(self):
+        m = PositionalMap()
+        m.record_row_offsets(np.array([0, 10, 20]))
+        m.record_row_offsets(np.array([1, 2, 3]))
+        assert list(m.row_offsets) == [0, 10, 20]
+        assert m.nrows == 3
+
+    def test_field_offsets_idempotent(self):
+        m = PositionalMap()
+        m.record_field_offsets(2, np.array([3, 13, 23]))
+        m.record_field_offsets(2, np.array([9, 9, 9]))
+        assert list(m.field_offsets[2]) == [3, 13, 23]
+
+    def test_length_mismatch_rejected(self):
+        m = PositionalMap()
+        m.record_row_offsets(np.array([0, 10]))
+        with pytest.raises(ValueError):
+            m.record_field_offsets(1, np.array([1, 2, 3]))
+
+
+class TestAnchors:
+    def test_no_knowledge(self):
+        assert PositionalMap().anchor_for(3) is None
+
+    def test_row_offsets_anchor_column_zero(self):
+        m = PositionalMap()
+        m.record_row_offsets(np.array([0, 10]))
+        col, offsets = m.anchor_for(5)
+        assert col == 0
+        assert list(offsets) == [0, 10]
+
+    def test_closest_predecessor_wins(self):
+        m = PositionalMap()
+        m.record_field_offsets(1, np.array([2]))
+        m.record_field_offsets(3, np.array([6]))
+        col, offsets = m.anchor_for(4)
+        assert col == 3
+        assert list(offsets) == [6]
+
+    def test_later_columns_ignored(self):
+        m = PositionalMap()
+        m.record_field_offsets(5, np.array([9]))
+        assert m.anchor_for(2) is None
+
+    def test_exact_column_anchor(self):
+        m = PositionalMap()
+        m.record_field_offsets(2, np.array([4]))
+        col, _ = m.anchor_for(2)
+        assert col == 2
+
+
+class TestLifecycle:
+    def test_clear(self):
+        m = PositionalMap()
+        m.record_row_offsets(np.array([0]))
+        m.record_field_offsets(0, np.array([0]))
+        m.clear()
+        assert m.nrows is None
+        assert m.row_offsets is None
+        assert not m.field_offsets
+
+    def test_memory_accounting(self):
+        m = PositionalMap()
+        assert m.memory_bytes() == 0
+        m.record_row_offsets(np.zeros(10, dtype=np.int64))
+        m.record_field_offsets(1, np.zeros(10, dtype=np.int64))
+        assert m.memory_bytes() == 160
+
+    def test_known_columns_sorted(self):
+        m = PositionalMap()
+        m.record_field_offsets(3, np.array([1]))
+        m.record_field_offsets(1, np.array([1]))
+        assert m.known_columns() == [1, 3]

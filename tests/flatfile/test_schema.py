@@ -1,0 +1,121 @@
+"""Tests for schema inference (paper section 5.6)."""
+
+import pytest
+
+from repro.errors import SchemaInferenceError
+from repro.flatfile.schema import (
+    ColumnSchema,
+    DataType,
+    TableSchema,
+    classify_value,
+    default_column_names,
+    infer_schema,
+    looks_like_header,
+    unify_types,
+)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("42", DataType.INT64),
+            ("-7", DataType.INT64),
+            ("0", DataType.INT64),
+            ("3.14", DataType.FLOAT64),
+            ("-2.5e3", DataType.FLOAT64),
+            ("1e10", DataType.FLOAT64),
+            ("abc", DataType.STRING),
+            ("12abc", DataType.STRING),
+            ("", DataType.STRING),
+            ("nan", DataType.FLOAT64),
+            ("inf", DataType.FLOAT64),
+        ],
+    )
+    def test_classify_value(self, text, expected):
+        assert classify_value(text) is expected
+
+
+class TestUnify:
+    def test_same(self):
+        for t in DataType:
+            assert unify_types(t, t) is t
+
+    def test_int_float_widens(self):
+        assert unify_types(DataType.INT64, DataType.FLOAT64) is DataType.FLOAT64
+        assert unify_types(DataType.FLOAT64, DataType.INT64) is DataType.FLOAT64
+
+    def test_string_absorbs(self):
+        assert unify_types(DataType.INT64, DataType.STRING) is DataType.STRING
+        assert unify_types(DataType.STRING, DataType.FLOAT64) is DataType.STRING
+
+
+class TestInference:
+    def test_pure_int_table(self):
+        schema = infer_schema([["1", "2"], ["3", "4"]])
+        assert [c.dtype for c in schema] == [DataType.INT64, DataType.INT64]
+        assert schema.names == ["a1", "a2"]
+
+    def test_mixed_types(self):
+        schema = infer_schema([["1", "1.5", "x"], ["2", "2", "y"]])
+        assert [c.dtype for c in schema] == [
+            DataType.INT64,
+            DataType.FLOAT64,
+            DataType.STRING,
+        ]
+
+    def test_with_header(self):
+        schema = infer_schema([["1", "2"]], header=["id", "val"])
+        assert schema.names == ["id", "val"]
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(SchemaInferenceError):
+            infer_schema([])
+
+    def test_ragged_sample_rejected(self):
+        with pytest.raises(SchemaInferenceError, match="ragged"):
+            infer_schema([["1", "2"], ["3"]])
+
+    def test_header_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaInferenceError):
+            infer_schema([["1", "2"]], header=["only_one"])
+
+    def test_empty_field_forces_string(self):
+        schema = infer_schema([["1", ""], ["2", "3"]])
+        assert schema.columns[1].dtype is DataType.STRING
+
+
+class TestTableSchema:
+    def test_index_case_insensitive(self):
+        schema = TableSchema([ColumnSchema("Alpha", DataType.INT64)])
+        assert schema.index_of("alpha") == 0
+        assert schema.index_of("ALPHA") == 0
+
+    def test_unknown_column(self):
+        schema = TableSchema([ColumnSchema("a", DataType.INT64)])
+        with pytest.raises(KeyError):
+            schema.index_of("b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaInferenceError):
+            TableSchema(
+                [ColumnSchema("a", DataType.INT64), ColumnSchema("a", DataType.INT64)]
+            )
+
+    def test_default_names(self):
+        assert default_column_names(3) == ["a1", "a2", "a3"]
+
+
+class TestHeaderDetection:
+    def test_numeric_first_row_is_data(self):
+        assert not looks_like_header(["1", "2"], ["3", "4"])
+
+    def test_text_over_numbers_is_header(self):
+        assert looks_like_header(["id", "value"], ["1", "2"])
+
+    def test_text_over_text_is_data(self):
+        # All-string table: no way to tell, keep the row as data.
+        assert not looks_like_header(["x", "y"], ["a", "b"])
+
+    def test_single_row_file(self):
+        assert not looks_like_header(["a", "b"], None)

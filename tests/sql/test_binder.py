@@ -1,0 +1,222 @@
+"""Tests for name resolution, typing and condition extraction."""
+
+import pytest
+
+from repro.errors import BindError, UnsupportedSQLError
+from repro.flatfile.schema import ColumnSchema, DataType, TableSchema
+from repro.sql.binder import BAgg, BColumn, bind
+from repro.sql.parser import parse_sql
+
+
+def make_schemas():
+    r = TableSchema(
+        [
+            ColumnSchema("a1", DataType.INT64),
+            ColumnSchema("a2", DataType.INT64),
+            ColumnSchema("name", DataType.STRING),
+            ColumnSchema("price", DataType.FLOAT64),
+        ]
+    )
+    s = TableSchema(
+        [ColumnSchema("k", DataType.INT64), ColumnSchema("v", DataType.INT64)]
+    )
+    return {"r": r, "s": s}
+
+
+def bound(sql):
+    return bind(parse_sql(sql), make_schemas())
+
+
+class TestResolution:
+    def test_unqualified(self):
+        b = bound("select a1 from r")
+        assert b.outputs[0].expr == BColumn("r", "a1", DataType.INT64)
+
+    def test_qualified_via_alias(self):
+        b = bound("select x.a1 from r as x")
+        assert b.outputs[0].expr == BColumn("x", "a1", DataType.INT64)
+
+    def test_unknown_table(self):
+        with pytest.raises(BindError, match="unknown table"):
+            bound("select a from zzz")
+
+    def test_unknown_column(self):
+        with pytest.raises(BindError, match="unknown column"):
+            bound("select zz from r")
+
+    def test_ambiguous_column(self):
+        schemas = {
+            "t1": TableSchema([ColumnSchema("x", DataType.INT64)]),
+            "t2": TableSchema([ColumnSchema("x", DataType.INT64)]),
+        }
+        stmt = parse_sql("select x from t1 join t2 on t1.x = t2.x")
+        with pytest.raises(BindError, match="ambiguous"):
+            bind(stmt, schemas)
+
+    def test_star_expansion(self):
+        b = bound("select * from r")
+        assert [o.name for o in b.outputs] == ["a1", "a2", "name", "price"]
+
+    def test_case_insensitive(self):
+        b = bound("select A1 from R")
+        assert b.outputs[0].expr.name == "a1"
+
+
+class TestTyping:
+    def test_arithmetic_type_promotion(self):
+        b = bound("select a1 + price from r")
+        assert b.outputs[0].expr.dtype is DataType.FLOAT64
+        b2 = bound("select a1 + a2 from r")
+        assert b2.outputs[0].expr.dtype is DataType.INT64
+        b3 = bound("select a1 / a2 from r")
+        assert b3.outputs[0].expr.dtype is DataType.FLOAT64
+
+    def test_string_arithmetic_rejected(self):
+        with pytest.raises(BindError, match="numeric"):
+            bound("select name + 1 from r")
+
+    def test_cross_type_comparison_rejected(self):
+        with pytest.raises(BindError, match="compare"):
+            bound("select a1 from r where name > 5")
+
+    def test_numeric_comparison_allowed(self):
+        bound("select a1 from r where price > 5")  # int col vs float literal OK
+
+    def test_sum_requires_numeric(self):
+        with pytest.raises(BindError):
+            bound("select sum(name) from r")
+
+    def test_min_max_on_strings_allowed(self):
+        b = bound("select min(name), max(name) from r")
+        assert b.is_aggregate
+
+
+class TestAggregates:
+    def test_aggregate_detection(self):
+        assert bound("select sum(a1) from r").is_aggregate
+        assert not bound("select a1 from r").is_aggregate
+        assert bound("select a1 from r group by a1").is_aggregate
+
+    def test_nested_aggregates_rejected(self):
+        with pytest.raises(BindError, match="nested"):
+            bound("select sum(max(a1)) from r")
+
+    def test_aggregate_in_where_rejected(self):
+        with pytest.raises(BindError):
+            bound("select a1 from r where sum(a1) > 5")
+
+    def test_ungrouped_output_rejected(self):
+        with pytest.raises(BindError, match="GROUP BY"):
+            bound("select a1, sum(a2) from r")
+
+    def test_grouped_output_allowed(self):
+        b = bound("select a1, sum(a2) from r group by a1")
+        assert b.is_aggregate
+
+    def test_count_star(self):
+        b = bound("select count(*) from r")
+        agg = b.outputs[0].expr
+        assert isinstance(agg, BAgg)
+        assert agg.func == "count" and agg.arg is None
+
+    def test_expression_around_aggregate(self):
+        b = bound("select sum(a1) / count(*) from r")
+        assert b.is_aggregate
+
+
+class TestNeededColumnsAndConditions:
+    def test_needed_columns_cover_all_references(self):
+        b = bound(
+            "select sum(a1) from r where a2 > 5 and price < 2.0 order by 1"
+        )
+        assert b.needed_columns["r"] == ["a1", "a2", "price"]
+
+    def test_condition_extraction(self):
+        b = bound("select a1 from r where a1 > 10 and a1 < 20 and a2 >= 3")
+        cond = b.conditions["r"]
+        iv1 = cond.interval_for("a1")
+        assert iv1.lo == 10 and iv1.hi == 20 and iv1.lo_open and iv1.hi_open
+        iv2 = cond.interval_for("a2")
+        assert iv2.lo == 3 and not iv2.lo_open
+        assert not b.has_residual_predicate
+
+    def test_mirrored_comparison(self):
+        b = bound("select a1 from r where 10 < a1")
+        assert b.conditions["r"].interval_for("a1").lo == 10
+
+    def test_equality_condition(self):
+        b = bound("select a1 from r where a1 = 7")
+        iv = b.conditions["r"].interval_for("a1")
+        assert iv.lo == 7 and iv.hi == 7 and not iv.lo_open and not iv.hi_open
+
+    def test_or_is_residual(self):
+        b = bound("select a1 from r where a1 > 5 or a2 > 5")
+        assert b.has_residual_predicate
+        assert b.conditions["r"].is_trivial()
+
+    def test_mixed_conjuncts(self):
+        b = bound("select a1 from r where a1 > 5 and (a2 > 1 or a2 < 0)")
+        assert b.has_residual_predicate
+        assert b.conditions["r"].interval_for("a1").lo == 5
+
+    def test_arithmetic_comparison_is_residual(self):
+        b = bound("select a1 from r where a1 + a2 > 5")
+        assert b.has_residual_predicate
+
+    def test_neq_is_residual(self):
+        b = bound("select a1 from r where a1 != 5")
+        assert b.has_residual_predicate
+
+
+class TestJoins:
+    def test_join_binding(self):
+        b = bound("select a1, v from r join s on a1 = k")
+        assert len(b.joins) == 1
+        j = b.joins[0]
+        assert j.left.binding == "r" and j.right.binding == "s"
+
+    def test_join_normalized_order(self):
+        b = bound("select a1, v from r join s on s.k = r.a1")
+        j = b.joins[0]
+        assert j.left.binding == "r"
+
+    def test_join_same_table_twice_rejected(self):
+        with pytest.raises(BindError, match="duplicate"):
+            bound("select * from r join r on a1 = a2")
+
+    def test_join_self_condition_rejected(self):
+        with pytest.raises(BindError, match="both tables"):
+            bound("select a1 from r join s on r.a1 = r.a2")
+
+    def test_join_condition_columns_in_needed(self):
+        b = bound("select v from r join s on a1 = k")
+        assert "a1" in b.needed_columns["r"]
+        assert "k" in b.needed_columns["s"]
+
+
+class TestOrderBy:
+    def test_order_by_position(self):
+        b = bound("select a1, a2 from r order by 2")
+        assert b.order_by[0][0] == BColumn("r", "a2", DataType.INT64)
+
+    def test_order_by_position_out_of_range(self):
+        with pytest.raises(BindError, match="out of range"):
+            bound("select a1 from r order by 3")
+
+    def test_order_by_alias(self):
+        b = bound("select a1 as x from r order by x")
+        assert b.order_by[0][0] == BColumn("r", "a1", DataType.INT64)
+
+
+class TestUnsupported:
+    def test_no_from(self):
+        with pytest.raises(UnsupportedSQLError):
+            bound("select 1")
+
+    def test_unknown_function(self):
+        with pytest.raises(UnsupportedSQLError, match="unknown function"):
+            bound("select sqrt(a1) from r")
+
+    def test_in_list_requires_literals(self):
+        with pytest.raises(UnsupportedSQLError):
+            bound("select a1 from r where a1 in (a2)")

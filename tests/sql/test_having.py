@@ -1,0 +1,84 @@
+"""Tests for HAVING (extension beyond the paper's Q1/Q2 templates)."""
+
+import numpy as np
+import pytest
+
+from repro import NoDBEngine, UnsupportedSQLError
+from repro.errors import SQLSyntaxError
+from repro.sql.parser import parse_sql
+
+
+class TestParsing:
+    def test_having_parsed(self):
+        stmt = parse_sql(
+            "select a, sum(b) from t group by a having sum(b) > 10"
+        )
+        assert stmt.having is not None
+
+    def test_having_without_group_by_rejected(self):
+        with pytest.raises(UnsupportedSQLError, match="GROUP BY"):
+            parse_sql("select sum(b) from t having sum(b) > 10")
+
+
+class TestExecution:
+    @pytest.fixture
+    def engine(self, tmp_path):
+        path = tmp_path / "g.csv"
+        rows = []
+        for g in range(5):
+            for v in range(g + 1):  # group g has g+1 members, values 0..g
+                rows.append(f"{g},{v}")
+        path.write_text("\n".join(rows) + "\n")
+        engine = NoDBEngine()
+        engine.attach("t", path)
+        yield engine
+        engine.close()
+
+    def test_having_on_count(self, engine):
+        r = engine.query(
+            "select a1, count(*) as n from t group by a1 having count(*) > 3 "
+            "order by a1"
+        )
+        assert r.column("a1").tolist() == [3, 4]
+        assert r.column("n").tolist() == [4, 5]
+
+    def test_having_on_aggregate_not_in_select(self, engine):
+        r = engine.query(
+            "select a1 from t group by a1 having sum(a2) >= 6 order by a1"
+        )
+        assert r.column("a1").tolist() == [3, 4]
+
+    def test_having_on_group_key(self, engine):
+        r = engine.query(
+            "select a1, count(*) as n from t group by a1 having a1 >= 3 "
+            "order by a1"
+        )
+        assert r.column("a1").tolist() == [3, 4]
+
+    def test_having_with_logic(self, engine):
+        r = engine.query(
+            "select a1 from t group by a1 "
+            "having count(*) > 1 and max(a2) < 4 order by a1"
+        )
+        assert r.column("a1").tolist() == [1, 2, 3]
+
+    def test_having_filters_everything(self, engine):
+        r = engine.query(
+            "select a1 from t group by a1 having count(*) > 100"
+        )
+        assert r.num_rows == 0
+
+    def test_having_matches_subselect_semantics(self, engine):
+        """HAVING == filtering the grouped result."""
+        unfiltered = engine.query(
+            "select a1, avg(a2) as m from t group by a1 order by a1"
+        )
+        filtered = engine.query(
+            "select a1, avg(a2) as m from t group by a1 having avg(a2) > 1 "
+            "order by a1"
+        )
+        expected = [
+            (k, m) for k, m in zip(unfiltered.column("a1"), unfiltered.column("m"))
+            if m > 1
+        ]
+        assert list(zip(filtered.column("a1"), filtered.column("m"))) == expected

@@ -1,0 +1,79 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.lexer import tokenize_sql
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize_sql(sql)]
+
+
+def texts(sql):
+    return [t.text for t in tokenize_sql(sql)[:-1]]  # drop eof
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert texts("SELECT foo FROM bar") == ["select", "foo", "from", "bar"]
+
+    def test_identifiers_keep_case(self):
+        assert texts("select MyCol") == ["select", "MyCol"]
+
+    def test_eof_always_present(self):
+        assert kinds("")[-1] == "eof"
+        assert kinds("select")[-1] == "eof"
+
+    def test_positions_recorded(self):
+        toks = tokenize_sql("select  a")
+        assert toks[0].position == 0
+        assert toks[1].position == 8
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text", ["0", "42", "3.14", ".5", "1e5", "2.5e-3", "1E+2"]
+    )
+    def test_number_forms(self, text):
+        toks = tokenize_sql(text)
+        assert toks[0].kind == "number"
+        assert toks[0].text == text
+
+    def test_number_then_ident(self):
+        toks = tokenize_sql("12abc")
+        assert toks[0].kind == "number" and toks[0].text == "12"
+        assert toks[1].kind == "ident" and toks[1].text == "abc"
+
+    def test_dot_not_part_of_number_after_ident(self):
+        toks = tokenize_sql("t.a1")
+        assert [t.kind for t in toks[:-1]] == ["ident", "op", "ident"]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        toks = tokenize_sql("'hello'")
+        assert toks[0].kind == "string"
+        assert toks[0].text == "hello"
+
+    def test_escaped_quote(self):
+        toks = tokenize_sql("'it''s'")
+        assert toks[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated"):
+            tokenize_sql("'oops")
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        assert texts("a <> b != c >= d <= e") == [
+            "a", "<>", "b", "!=", "c", ">=", "d", "<=", "e",
+        ]
+
+    def test_comment_skipped(self):
+        assert texts("select a -- comment\nfrom t") == ["select", "a", "from", "t"]
+
+    def test_unknown_character(self):
+        with pytest.raises(SQLSyntaxError, match="unexpected character"):
+            tokenize_sql("select @")

@@ -1,0 +1,168 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError, UnsupportedSQLError
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.parser import parse_sql
+
+
+class TestSelectList:
+    def test_star(self):
+        stmt = parse_sql("select * from t")
+        assert isinstance(stmt.items[0].expr, Star)
+
+    def test_columns_and_aliases(self):
+        stmt = parse_sql("select a, b as bee, c cee from t")
+        assert stmt.items[0].expr == ColumnRef("a")
+        assert stmt.items[1].alias == "bee"
+        assert stmt.items[2].alias == "cee"
+
+    def test_aggregates(self):
+        stmt = parse_sql("select sum(a1), count(*), avg(x) from t")
+        assert stmt.items[0].expr == FuncCall("sum", (ColumnRef("a1"),))
+        assert stmt.items[1].expr == FuncCall("count", (Star(),))
+
+    def test_count_distinct(self):
+        stmt = parse_sql("select count(distinct a) from t")
+        assert stmt.items[0].expr.distinct
+
+    def test_qualified_columns(self):
+        stmt = parse_sql("select t.a from t")
+        assert stmt.items[0].expr == ColumnRef("a", table="t")
+
+    def test_select_distinct(self):
+        assert parse_sql("select distinct a from t").distinct
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        stmt = parse_sql("select a + b * c from t")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        stmt = parse_sql("select (a + b) * c from t")
+        assert stmt.items[0].expr.op == "*"
+
+    def test_and_or_precedence(self):
+        stmt = parse_sql("select a from t where x = 1 or y = 2 and z = 3")
+        assert stmt.where.op == "or"
+        assert stmt.where.right.op == "and"
+
+    def test_not(self):
+        stmt = parse_sql("select a from t where not x = 1")
+        assert isinstance(stmt.where, UnaryOp)
+        assert stmt.where.op == "not"
+
+    def test_between_desugars(self):
+        stmt = parse_sql("select a from t where a between 1 and 5")
+        w = stmt.where
+        assert w.op == "and"
+        assert w.left.op == ">=" and w.right.op == "<="
+
+    def test_not_between(self):
+        stmt = parse_sql("select a from t where a not between 1 and 5")
+        assert isinstance(stmt.where, UnaryOp)
+
+    def test_in_list(self):
+        stmt = parse_sql("select a from t where a in (1, 2, 3)")
+        assert isinstance(stmt.where, InList)
+        assert len(stmt.where.values) == 3
+
+    def test_not_in(self):
+        stmt = parse_sql("select a from t where a not in (1)")
+        assert stmt.where.negated
+
+    def test_negative_literal_folded(self):
+        stmt = parse_sql("select -5 from t")
+        assert stmt.items[0].expr == Literal(-5)
+
+    def test_string_literal(self):
+        stmt = parse_sql("select a from t where name = 'bob'")
+        assert stmt.where.right == Literal("bob")
+
+    def test_float_literal(self):
+        stmt = parse_sql("select 1.5 from t")
+        assert stmt.items[0].expr == Literal(1.5)
+
+    def test_neq_normalized(self):
+        a = parse_sql("select a from t where x <> 1").where
+        b = parse_sql("select a from t where x != 1").where
+        assert a == b
+
+
+class TestClauses:
+    def test_where(self):
+        stmt = parse_sql("select a from t where a > 1 and a < 5")
+        assert isinstance(stmt.where, BinaryOp)
+
+    def test_group_by(self):
+        stmt = parse_sql("select a, sum(b) from t group by a")
+        assert stmt.group_by == [ColumnRef("a")]
+
+    def test_order_by_asc_desc(self):
+        stmt = parse_sql("select a, b from t order by a desc, b asc")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+    def test_limit(self):
+        assert parse_sql("select a from t limit 7").limit == 7
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("select a from t limit 1.5")
+
+    def test_join(self):
+        stmt = parse_sql("select * from t join s on t.k = s.k")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].table.name == "s"
+
+    def test_inner_join_keyword(self):
+        stmt = parse_sql("select * from t inner join s on t.k = s.k")
+        assert len(stmt.joins) == 1
+
+    def test_join_requires_equi(self):
+        with pytest.raises(UnsupportedSQLError):
+            parse_sql("select * from t join s on t.k < s.k")
+
+    def test_table_alias(self):
+        stmt = parse_sql("select * from t as x")
+        assert stmt.table.alias == "x"
+        stmt2 = parse_sql("select * from t x")
+        assert stmt2.table.alias == "x"
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(SQLSyntaxError, match="empty"):
+            parse_sql("   ")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError, match="trailing"):
+            parse_sql("select a from t banana split")
+
+    def test_missing_from_table(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("select a from")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("select (a from t")
+
+    def test_error_position(self):
+        try:
+            parse_sql("select a from t where ,")
+        except SQLSyntaxError as exc:
+            assert exc.position == 22
+        else:  # pragma: no cover
+            raise AssertionError("expected a syntax error")

@@ -1,0 +1,70 @@
+"""Tests for the binary column store (the engine's internal format)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FlatFileError
+from repro.flatfile.schema import DataType
+from repro.storage.binarystore import BinaryStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return BinaryStore(tmp_path / "bin")
+
+
+def test_round_trip_int(store):
+    values = np.array([1, -5, 2**40], dtype=np.int64)
+    store.save("r", "a1", DataType.INT64, values)
+    assert store.has("r", "a1")
+    assert store.load("r", "a1").tolist() == values.tolist()
+
+
+def test_round_trip_float(store):
+    values = np.array([0.5, -1e300], dtype=np.float64)
+    store.save("r", "x", DataType.FLOAT64, values)
+    back = store.load("r", "x")
+    assert back.dtype == np.float64
+    assert back.tolist() == values.tolist()
+
+
+def test_strings_rejected(store):
+    with pytest.raises(FlatFileError):
+        store.save("r", "s", DataType.STRING, np.array(["a"], dtype=object))
+
+
+def test_case_insensitive_names(store):
+    store.save("R", "A1", DataType.INT64, np.array([1]))
+    assert store.has("r", "a1")
+    assert store.load("r", "a1").tolist() == [1]
+
+
+def test_missing_column(store):
+    assert not store.has("r", "a1")
+    with pytest.raises(FlatFileError, match="no column"):
+        store.load("r", "a1")
+
+
+def test_nrows_manifest(store):
+    assert store.nrows("r") is None
+    store.save("r", "a1", DataType.INT64, np.arange(7))
+    assert store.nrows("r") == 7
+
+
+def test_stats_and_disk_usage(store):
+    values = np.arange(100, dtype=np.int64)
+    store.save("r", "a1", DataType.INT64, values)
+    store.load("r", "a1")
+    assert store.stats.bytes_written == 800
+    assert store.stats.bytes_read == 800
+    assert store.stats.columns_written == 1
+    assert store.stats.columns_read == 1
+    assert store.bytes_on_disk() == 800
+
+
+def test_drop_table(store):
+    store.save("r", "a1", DataType.INT64, np.arange(3))
+    store.drop_table("r")
+    assert not store.has("r", "a1")
+    assert store.nrows("r") is None
+    store.drop_table("r")  # idempotent

@@ -1,0 +1,37 @@
+"""Tests for fully-loaded column vectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.flatfile.schema import DataType
+from repro.storage.column import Column
+
+
+def test_dtype_coercion():
+    c = Column("x", DataType.INT64, np.array([1.0, 2.0]))
+    assert c.values.dtype == np.int64
+
+
+def test_bad_coercion_rejected():
+    with pytest.raises(ExecutionError, match="cannot store"):
+        Column("x", DataType.INT64, np.array(["a", "b"], dtype=object))
+
+
+def test_len_and_nbytes():
+    c = Column("x", DataType.INT64, np.arange(100))
+    assert len(c) == 100
+    assert c.nbytes == 800
+
+
+def test_string_nbytes_estimated():
+    c = Column("s", DataType.STRING, np.array(["abc", "de"], dtype=object))
+    assert c.nbytes > 16  # pointers plus payload estimate
+    empty = Column("s", DataType.STRING, np.empty(0, dtype=object))
+    assert empty.nbytes == 0
+
+
+def test_take_and_slice():
+    c = Column("x", DataType.INT64, np.arange(10))
+    assert c.take(np.array([2, 4])).values.tolist() == [2, 4]
+    assert c.slice(3, 6).values.tolist() == [3, 4, 5]

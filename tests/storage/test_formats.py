@@ -1,0 +1,73 @@
+"""Tests for the column/row/PAX physical layouts (adaptive store, 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.flatfile.schema import DataType
+from repro.storage.formats import (
+    ColumnLayout,
+    PAXLayout,
+    RowLayout,
+    build_layout,
+)
+
+NAMES = ["a", "b"]
+DTYPES = [DataType.INT64, DataType.FLOAT64]
+ARRAYS = [np.arange(10, dtype=np.int64), np.arange(10, dtype=np.float64) / 2]
+
+
+@pytest.fixture(params=["column", "row", "pax"])
+def layout(request):
+    kwargs = {"page_rows": 4} if request.param == "pax" else {}
+    return build_layout(request.param, NAMES, DTYPES, ARRAYS, **kwargs)
+
+
+class TestCommonContract:
+    def test_length(self, layout):
+        assert len(layout) == 10
+
+    def test_column_access(self, layout):
+        assert layout.column(0).tolist() == list(range(10))
+        assert layout.column(1).tolist() == [i / 2 for i in range(10)]
+
+    def test_row_access(self, layout):
+        assert tuple(layout.row(0)) == (0, 0.0)
+        assert tuple(layout.row(7)) == (7, 3.5)
+
+    def test_take(self, layout):
+        cols = layout.take(np.array([1, 3]))
+        assert cols[0].tolist() == [1, 3]
+        assert cols[1].tolist() == [0.5, 1.5]
+
+    def test_nbytes_positive(self, layout):
+        assert layout.nbytes > 0
+
+
+class TestSpecifics:
+    def test_column_layout_rejects_ragged(self):
+        with pytest.raises(ExecutionError, match="ragged"):
+            ColumnLayout(NAMES, DTYPES, [np.arange(3), np.arange(4)])
+
+    def test_row_layout_is_structured(self):
+        lay = RowLayout.from_columns(NAMES, DTYPES, ARRAYS)
+        assert lay.records.dtype.names == ("a", "b")
+
+    def test_pax_page_structure(self):
+        lay = PAXLayout.from_columns(NAMES, DTYPES, ARRAYS, page_rows=4)
+        assert len(lay.pages) == 3  # 4 + 4 + 2
+        assert len(lay.pages[-1][0]) == 2
+
+    def test_pax_bad_page_rows(self):
+        with pytest.raises(ExecutionError):
+            PAXLayout.from_columns(NAMES, DTYPES, ARRAYS, page_rows=0)
+
+    def test_unknown_layout_kind(self):
+        with pytest.raises(ExecutionError, match="unknown layout"):
+            build_layout("diagonal", NAMES, DTYPES, ARRAYS)
+
+    def test_empty_table(self):
+        for kind in ("column", "row", "pax"):
+            lay = build_layout(kind, NAMES, DTYPES, [np.empty(0, dtype=np.int64), np.empty(0)])
+            assert len(lay) == 0
+            assert lay.column(0).tolist() == []

@@ -1,0 +1,103 @@
+"""Tests for the adaptive-store memory budget and eviction."""
+
+from repro.storage.memory import MemoryManager
+
+
+class Fragment:
+    """Test double that records whether it was dropped."""
+
+    def __init__(self):
+        self.dropped = False
+
+    def drop(self):
+        self.dropped = True
+
+
+def test_unbounded_never_evicts():
+    m = MemoryManager(budget_bytes=None)
+    frags = [Fragment() for _ in range(5)]
+    for i, f in enumerate(frags):
+        m.register(("t", f"c{i}"), 10**9, f.drop)
+    assert not any(f.dropped for f in frags)
+    assert m.stats.evictions == 0
+
+
+def test_lru_evicts_least_recently_used():
+    m = MemoryManager(budget_bytes=100)
+    a, b, c = Fragment(), Fragment(), Fragment()
+    m.register(("t", "a"), 40, a.drop)
+    m.register(("t", "b"), 40, b.drop)
+    m.touch(("t", "a"))  # b is now least recently used
+    m.register(("t", "c"), 40, c.drop)
+    assert b.dropped
+    assert not a.dropped and not c.dropped
+    assert m.stats.evictions == 1
+    assert m.stats.bytes_evicted == 40
+
+
+def test_fifo_ignores_touches():
+    m = MemoryManager(budget_bytes=100, policy="fifo")
+    a, b, c = Fragment(), Fragment(), Fragment()
+    m.register(("t", "a"), 40, a.drop)
+    m.register(("t", "b"), 40, b.drop)
+    m.touch(("t", "a"))  # no effect under FIFO
+    m.register(("t", "c"), 40, c.drop)
+    assert a.dropped
+    assert not b.dropped
+
+
+def test_oversized_fragment_admitted_alone():
+    m = MemoryManager(budget_bytes=100)
+    big = Fragment()
+    m.register(("t", "big"), 500, big.drop)
+    assert not big.dropped
+    assert m.resident_bytes == 500
+    # The next registration pushes it out.
+    small = Fragment()
+    m.register(("t", "small"), 10, small.drop)
+    assert big.dropped
+    assert not small.dropped
+
+
+def test_pinned_fragments_survive():
+    m = MemoryManager(budget_bytes=100)
+    pinned, other = Fragment(), Fragment()
+    m.register(("t", "p"), 80, pinned.drop, pinned=True)
+    m.register(("t", "o"), 80, other.drop)
+    assert not pinned.dropped
+    assert other.dropped or m.resident_bytes > 100  # other was the only victim
+
+
+def test_resize_existing_fragment():
+    m = MemoryManager(budget_bytes=100)
+    a = Fragment()
+    m.register(("t", "a"), 10, a.drop)
+    m.register(("t", "a"), 60, a.drop)
+    assert m.resident_bytes == 60
+    assert len(m.fragments) == 1
+
+
+def test_forget_removes_without_dropping():
+    m = MemoryManager(budget_bytes=100)
+    a = Fragment()
+    m.register(("t", "a"), 50, a.drop)
+    m.forget(("t", "a"))
+    assert not a.dropped
+    assert m.resident_bytes == 0
+
+
+def test_eviction_cascades_until_fit():
+    m = MemoryManager(budget_bytes=100)
+    frags = [Fragment() for _ in range(4)]
+    for i, f in enumerate(frags):
+        m.register(("t", f"c{i}"), 30, f.drop)
+    # 4 x 30 = 120 > 100: the first registered fragment was evicted.
+    assert frags[0].dropped
+    assert m.resident_bytes == 90
+
+
+def test_peak_bytes_tracked():
+    m = MemoryManager(budget_bytes=None)
+    m.register(("t", "a"), 70, lambda: None)
+    m.register(("t", "b"), 50, lambda: None)
+    assert m.stats.peak_bytes == 120

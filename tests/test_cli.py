@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main, table_names
+
+
+def run_cli(*argv, stdin_text=""):
+    stdin = io.StringIO(stdin_text)
+    stdout = io.StringIO()
+    stderr = io.StringIO()
+    code = main(list(argv), stdin=stdin, stdout=stdout, stderr=stderr)
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+class TestOneShot:
+    def test_single_file_query(self, small_csv):
+        code, out, err = run_cli("select count(*) from t", str(small_csv))
+        assert code == 0, err
+        assert "500" in out
+
+    def test_aggregate_query(self, small_csv):
+        code, out, _ = run_cli(
+            "select sum(a1) from t where a1 > 100 and a1 < 103", str(small_csv)
+        )
+        assert code == 0
+        assert "203" in out  # 101 + 102
+
+    def test_multiple_files_t1_t2(self, small_csv, wide_csv):
+        code, out, err = run_cli(
+            "select count(*) from t1 join t2 on t1.a1 = t2.a1",
+            str(small_csv),
+            str(wide_csv),
+        )
+        assert code == 0, err
+        assert "300" in out  # wide has 300 rows, keys 0..299 all in small
+
+    def test_policy_flag(self, small_csv):
+        code, out, _ = run_cli(
+            "--policy", "splitfiles", "select sum(a2) from t", str(small_csv)
+        )
+        assert code == 0
+
+    def test_stats_flag(self, small_csv):
+        code, out, _ = run_cli(
+            "--stats", "select count(*) from t", str(small_csv)
+        )
+        assert code == 0
+        assert "bytes read" in out
+
+    def test_explain_flag(self, small_csv):
+        code, out, _ = run_cli(
+            "--explain", "select sum(a1) from t where a1 > 5", str(small_csv)
+        )
+        assert code == 0
+        assert "needed columns: a1" in out
+
+    def test_delimiter_flag(self, tmp_path):
+        path = tmp_path / "p.psv"
+        path.write_text("1|2\n3|4\n")
+        code, out, _ = run_cli(
+            "--delimiter", "|", "select sum(a2) from t", str(path)
+        )
+        assert code == 0
+        assert "6" in out
+
+
+class TestErrors:
+    def test_no_files(self):
+        code, _, err = run_cli("select 1")
+        assert code == 1
+        assert "no data files" in err
+
+    def test_no_sql(self, small_csv):
+        code, _, err = run_cli(str(small_csv))
+        # The file path lands in the sql slot; binding fails cleanly.
+        assert code == 1
+
+    def test_missing_file(self, tmp_path):
+        code, _, err = run_cli("select 1 from t", str(tmp_path / "nope.csv"))
+        assert code == 1
+        assert "does not exist" in err
+
+    def test_bad_sql(self, small_csv):
+        code, _, err = run_cli("selekt banana", str(small_csv))
+        assert code == 1
+        assert "error" in err
+
+
+class TestShell:
+    def test_shell_session(self, small_csv):
+        code, out, _ = run_cli(
+            "--shell",
+            str(small_csv),
+            stdin_text="select count(*) from t\n\\q\n",
+        )
+        assert code == 0
+        assert "500" in out
+        assert "tables: t" in out
+
+    def test_shell_recovers_from_errors(self, small_csv):
+        code, out, _ = run_cli(
+            "--shell",
+            str(small_csv),
+            stdin_text="select nope from t\nselect count(*) from t\nquit\n",
+        )
+        assert code == 0
+        assert "error:" in out
+        assert "500" in out
+
+
+class TestAutoTuning:
+    def test_auto_flag(self, small_csv):
+        code, out, _ = run_cli(
+            "--auto", "select count(*) from t", str(small_csv)
+        )
+        assert code == 0
+
+
+def test_table_names():
+    from pathlib import Path
+
+    assert table_names([Path("a")]) == ["t"]
+    assert table_names([Path("a"), Path("b")]) == ["t1", "t2"]

@@ -1,0 +1,124 @@
+"""Remaining DESIGN.md section-5 invariants not covered elsewhere."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EngineConfig, NoDBEngine
+from repro.cracking.cracker import CrackerColumn
+from repro.flatfile.schema import DataType
+from repro.flatfile.writer import write_csv
+from repro.ranges import ValueInterval
+from repro.storage.catalog import Catalog
+
+
+class TestInvariant8SchemaRoundTrip:
+    """Schema inference on generated files returns the generating schema."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        spec=st.lists(
+            st.sampled_from(["int", "float", "str"]), min_size=1, max_size=6
+        ),
+        nrows=st.integers(2, 30),
+    )
+    def test_generated_schema_recovered(self, spec, nrows, tmp_path_factory):
+        rng = np.random.default_rng(42)
+        columns = []
+        for kind in spec:
+            if kind == "int":
+                columns.append(rng.integers(-1000, 1000, nrows))
+            elif kind == "float":
+                # Guarantee a non-integral value so the column stays float.
+                vals = rng.uniform(-10, 10, nrows)
+                vals[0] = 0.5
+                columns.append(vals)
+            else:
+                choices = np.array(["xx", "yy", "zz"], dtype=object)
+                columns.append(choices[rng.integers(0, 3, nrows)])
+        path = tmp_path_factory.mktemp("schema") / "t.csv"
+        write_csv(path, columns)
+        entry = Catalog().attach("t", path)
+        inferred = [c.dtype for c in entry.ensure_schema()]
+        expected = {
+            "int": DataType.INT64,
+            "float": DataType.FLOAT64,
+            "str": DataType.STRING,
+        }
+        assert inferred == [expected[k] for k in spec]
+
+
+class TestFloatCracking:
+    """Cracking works on float columns, not just the paper's int tables."""
+
+    def test_float_range_select(self):
+        rng = np.random.default_rng(9)
+        values = rng.uniform(0, 1, 500)
+        c = CrackerColumn(values)
+        interval = ValueInterval(0.25, 0.75)
+        got = np.sort(c.select_values(interval))
+        expected = np.sort(values[interval.mask(values)])
+        assert np.array_equal(got, expected)
+        c.check_invariants()
+
+    def test_mixed_bounds(self):
+        values = np.array([0.1, 0.2, 0.3, 0.4])
+        c = CrackerColumn(values)
+        got = c.select_values(
+            ValueInterval(0.2, 0.4, lo_open=False, hi_open=True)
+        )
+        assert sorted(got.tolist()) == [0.2, 0.3]
+
+
+class TestExplainResiduals:
+    def test_residual_flag_reported(self, small_csv):
+        engine = NoDBEngine(EngineConfig(policy="partial_v2"))
+        engine.attach("r", small_csv)
+        text = engine.explain(
+            "select sum(a1) from r where a1 > 5 and (a2 > 1 or a3 > 1)"
+        )
+        assert "residual predicates present" in text
+        engine.close()
+
+    def test_partial_state_reported(self, small_csv):
+        engine = NoDBEngine(EngineConfig(policy="partial_v2"))
+        engine.attach("r", small_csv)
+        engine.query("select sum(a1) from r where a1 > 5 and a1 < 100")
+        text = engine.explain("select sum(a1) from r where a1 > 5 and a1 < 100")
+        assert "partially loaded" in text
+        assert "certificates" in text
+        engine.close()
+
+
+class TestResidualPredicatesThroughPolicies:
+    """Residual (non-range) predicates must not break partial coverage."""
+
+    @pytest.mark.parametrize("policy", ["partial_v2", "column_loads", "splitfiles"])
+    def test_or_predicates_correct(self, small_csv, small_columns, policy):
+        engine = NoDBEngine(EngineConfig(policy=policy))
+        engine.attach("r", small_csv)
+        got = engine.query(
+            "select count(*) from r where a1 > 100 and a1 < 400 "
+            "and (a2 < 50 or a2 > 450)"
+        ).scalar()
+        a1, a2 = small_columns[0], small_columns[1]
+        mask = (a1 > 100) & (a1 < 400) & ((a2 < 50) | (a2 > 450))
+        assert got == mask.sum()
+        engine.close()
+
+    def test_v2_residual_never_certified_too_broadly(self, small_csv, small_columns):
+        """After a query with a residual, a *wider* residual query must
+        not be served from a store that lacks its rows."""
+        engine = NoDBEngine(EngineConfig(policy="partial_v2"))
+        engine.attach("r", small_csv)
+        engine.query(
+            "select count(*) from r where a1 > 100 and a1 < 200 and (a2 < 50 or a2 > 450)"
+        )
+        a1, a2 = small_columns[0], small_columns[1]
+        got = engine.query(
+            "select count(*) from r where a1 > 100 and a1 < 200 and (a2 < 100 or a2 > 400)"
+        ).scalar()
+        mask = (a1 > 100) & (a1 < 200) & ((a2 < 100) | (a2 > 400))
+        assert got == mask.sum()
+        engine.close()

@@ -1,0 +1,72 @@
+"""Tests for the QueryResult container."""
+
+import numpy as np
+import pytest
+
+from repro.result import QueryResult
+
+
+def _r(**cols):
+    names = list(cols)
+    return QueryResult(names, [np.asarray(v) for v in cols.values()])
+
+
+def test_shape_properties():
+    r = _r(a=[1, 2, 3], b=[4.0, 5.0, 6.0])
+    assert r.num_rows == 3
+    assert r.num_columns == 2
+    assert r.names == ["a", "b"]
+
+
+def test_ragged_rejected():
+    with pytest.raises(ValueError, match="ragged"):
+        QueryResult(["a", "b"], [np.array([1]), np.array([1, 2])])
+
+
+def test_name_count_mismatch_rejected():
+    with pytest.raises(ValueError):
+        QueryResult(["a"], [np.array([1]), np.array([2])])
+
+
+def test_column_lookup():
+    r = _r(x=[1, 2])
+    assert list(r.column("x")) == [1, 2]
+    with pytest.raises(KeyError):
+        r.column("nope")
+
+
+def test_rows():
+    r = _r(a=[1, 2], b=[3, 4])
+    assert r.rows() == [(1, 3), (2, 4)]
+
+
+def test_scalar():
+    assert _r(a=[42]).scalar() == 42
+    with pytest.raises(ValueError):
+        _r(a=[1, 2]).scalar()
+
+
+def test_to_dict():
+    assert _r(a=[1], b=[2]).to_dict() == {"a": [1], "b": [2]}
+
+
+def test_approx_equal_exact_ints():
+    assert _r(a=[1, 2]).approx_equal(_r(a=[1, 2]))
+    assert not _r(a=[1, 2]).approx_equal(_r(a=[1, 3]))
+
+
+def test_approx_equal_float_tolerance():
+    a = _r(x=[1.0 / 3.0])
+    b = _r(x=[0.3333333333333333])
+    assert a.approx_equal(b)
+
+
+def test_approx_equal_shape_mismatch():
+    assert not _r(a=[1]).approx_equal(_r(b=[1]))
+    assert not _r(a=[1]).approx_equal(_r(a=[1, 2]))
+
+
+def test_repr_truncates():
+    r = _r(a=list(range(100)))
+    text = repr(r)
+    assert "100 rows" in text
