@@ -68,11 +68,13 @@ def test_memory_budget_sweep(benchmark, fig3_file):
     assert fits[2] == len(CYCLE) - 4
     assert fits[4] is None
     assert unbounded[3] == 0
-    # Thrashing costs several times more wall clock.  (The fitting run
-    # still pays its own four initial loads inside this short cycle, so
-    # the total-time gap is bounded by cycle length; store hits above are
+    # Thrashing costs measurably more wall clock.  (The fitting run still
+    # pays its own four initial loads inside this short cycle, so the
+    # total-time gap is bounded by cycle length; and the selective-read
+    # fast path softens each reload to a fraction of the file, so the
+    # penalty is real but no longer catastrophic.  Store hits above are
     # the exact signal.)
-    assert thrash[1] > 2 * fits[1]
+    assert thrash[1] > 1.3 * fits[1]
 
     benchmark.pedantic(
         lambda: _run_cycle(fig3_file, 2 * ONE_COLUMN), rounds=1, iterations=1

@@ -42,6 +42,16 @@ class EngineConfig:
     use_positional_map:
         Learn byte offsets of rows/fields while tokenizing and use them to
         jump directly to needed attributes in later loads (section 4.1.5).
+    selective_reads:
+        When the positional map already knows the byte range of every field
+        a pass needs, read only those ranges from the file (coalesced into
+        batched window reads) and gather the fields vectorized, instead of
+        re-reading and re-tokenizing the whole file.  Requires
+        ``use_positional_map``; off is the ablation baseline.
+    selective_read_max_gap:
+        Byte ranges closer than this are merged into one window read on the
+        selective path.  Larger values trade extra bytes read for fewer
+        seek+read calls; ``0`` merges only touching ranges.
     tokenizer_early_abort:
         Stop tokenizing a row once the last needed column has been seen
         (section 3.2).
@@ -78,6 +88,8 @@ class EngineConfig:
     policy: str = "column_loads"
     memory_budget_bytes: int | None = None
     use_positional_map: bool = True
+    selective_reads: bool = True
+    selective_read_max_gap: int = 4
     tokenizer_early_abort: bool = True
     predicate_pushdown: bool = True
     splitfile_dir: Path | None = None
@@ -94,6 +106,8 @@ class EngineConfig:
             raise ValueError(f"unknown policy {self.policy!r}; expected one of {POLICIES}")
         if self.eviction_policy not in ("lru", "fifo"):
             raise ValueError(f"unknown eviction policy {self.eviction_policy!r}")
+        if self.selective_read_max_gap < 0:
+            raise ValueError("selective_read_max_gap must be non-negative")
         if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
             raise ValueError("memory_budget_bytes must be positive or None")
         if self.splitfile_dir is not None:

@@ -34,6 +34,7 @@ from repro.core.loader import (
     column_load_pass,
     external_pass,
     full_load_pass,
+    parse_column_with_widening,
     partial_load_pass,
 )
 from repro.core.splitfile import SplitFileCatalog
@@ -392,9 +393,8 @@ class SplitFilesPolicy(LoadingPolicy):
             table = entry.ensure_table(nrows)
             for name in missing:
                 idx = schema.index_of(name)
-                col_schema = schema.columns[idx]
-                values = parse_fields(
-                    fetched.fields[idx], col_schema.dtype, ctx.qstats.parse
+                values = parse_column_with_widening(
+                    entry, idx, fetched.fields[idx], ctx.qstats.parse
                 )
                 pc = table.column(name)
                 newly = pc.store_full(values)

@@ -25,6 +25,11 @@ def global_aggregate(func: str, values: np.ndarray | None, nrows: int, distinct:
         return np.int64(len(values))
     if values is None:
         raise ExecutionError(f"{func}() requires an argument")
+    if values.dtype == object and func in ("sum", "avg"):
+        # np.sum over object strings would *concatenate* — a silently wrong
+        # answer.  This matters since schema widening can legitimately turn
+        # a sampled-as-numeric column into strings.
+        raise ExecutionError(f"{func}() over a string column is not defined")
     if distinct:
         values = np.unique(values)
     if len(values) == 0:
@@ -86,6 +91,8 @@ def grouped_aggregate(
     if values is None:
         raise ExecutionError(f"{func}() requires an argument")
     sorted_vals = values[order]
+    if sorted_vals.dtype == object and func in ("sum", "avg"):
+        raise ExecutionError(f"{func}() over a string column is not defined")
     if distinct or sorted_vals.dtype == object:
         # Fallback: segment-wise Python reduction (strings / DISTINCT).
         ends = np.append(starts[1:], n)

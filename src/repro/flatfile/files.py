@@ -20,7 +20,74 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+import numpy as np
+
 from repro.errors import FlatFileError
+
+
+def coalesce_ranges(
+    starts: np.ndarray, ends: np.ndarray, max_gap: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge byte ranges ``[starts[i], ends[i])`` into batched windows.
+
+    Ranges whose gap to the running window is at most ``max_gap`` bytes are
+    merged into it, so that a window is one seek+read instead of many.  The
+    input may be unsorted and overlapping; the output windows are sorted and
+    disjoint.  ``max_gap=0`` merges only touching/overlapping ranges.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    if len(starts) != len(ends):
+        raise FlatFileError(
+            f"coalesce_ranges: {len(starts)} starts but {len(ends)} ends"
+        )
+    if len(starts) == 0:
+        return starts.copy(), ends.copy()
+    if max_gap < 0:
+        raise FlatFileError(f"max_gap must be non-negative, got {max_gap}")
+    if (ends < starts).any() or (starts < 0).any():
+        raise FlatFileError("coalesce_ranges: malformed byte range")
+    order = np.argsort(starts, kind="stable")
+    s = starts[order]
+    e = ends[order]
+    cummax_e = np.maximum.accumulate(e)
+    breaks = np.empty(len(s), dtype=bool)
+    breaks[0] = True
+    breaks[1:] = s[1:] > cummax_e[:-1] + max_gap
+    first = np.nonzero(breaks)[0]
+    win_starts = s[first]
+    win_ends = np.maximum.reduceat(e, first)
+    return win_starts, win_ends
+
+
+@dataclass
+class FileWindows:
+    """Bytes of several coalesced windows of one file, addressable by
+    their original absolute file offsets.
+
+    ``starts[i]``/``ends[i]`` are the file-offset bounds of window ``i``
+    (sorted, disjoint) and ``offsets[i]`` is where window ``i`` begins
+    inside the concatenated :attr:`buffer`.
+    """
+
+    starts: np.ndarray
+    ends: np.ndarray
+    offsets: np.ndarray
+    buffer: bytes
+
+    def translate(self, positions: np.ndarray) -> np.ndarray:
+        """Map absolute file offsets to offsets within :attr:`buffer`."""
+        positions = np.asarray(positions, dtype=np.int64)
+        if len(positions) == 0:
+            return positions.copy()
+        idx = np.searchsorted(self.starts, positions, side="right") - 1
+        if (idx < 0).any() or (positions > self.ends[idx]).any():
+            raise FlatFileError("file offset outside every read window")
+        return positions - self.starts[idx] + self.offsets[idx]
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self.buffer)
 
 
 @dataclass(frozen=True)
@@ -112,6 +179,36 @@ class FlatFile:
             data = f.read(end - start)
         self._account(len(data), full_scan=False)
         return data.decode("utf-8")
+
+    def read_windows(
+        self, starts: np.ndarray, ends: np.ndarray, max_gap: int = 0
+    ) -> FileWindows:
+        """Read many byte ranges in batched, coalesced window reads.
+
+        The selective-read fast path hands over the positional map's field
+        byte ranges; ranges closer than ``max_gap`` are merged into one
+        seek+read (see :func:`coalesce_ranges`).  Only the coalesced
+        windows are read and accounted — never the whole file.
+        """
+        win_starts, win_ends = coalesce_ranges(starts, ends, max_gap)
+        chunks: list[bytes] = []
+        if len(win_starts):
+            with open(self.path, "rb") as f:
+                for s, e in zip(win_starts.tolist(), win_ends.tolist()):
+                    f.seek(s)
+                    chunks.append(f.read(e - s))
+        sizes = np.asarray([len(c) for c in chunks], dtype=np.int64)
+        offsets = np.zeros(len(chunks), dtype=np.int64)
+        if len(chunks):
+            offsets[1:] = np.cumsum(sizes[:-1])
+        for size in sizes.tolist():
+            self._account(size, full_scan=False)
+        return FileWindows(
+            starts=win_starts,
+            ends=win_ends,
+            offsets=offsets,
+            buffer=b"".join(chunks),
+        )
 
     # --------------------------------------------------------------- lines
 

@@ -11,13 +11,24 @@ The map stores, per flat file:
   first time any full pass tokenizes the file;
 * per-column arrays of **field start offsets**, one ``int64`` per row,
   recorded as a side effect whenever a tokenization pass locates that
-  column in every row.
+  column in every row;
+* per-column arrays of **field end offsets**, recorded alongside the
+  starts, so that a known column is a pure byte *slice* of the file — no
+  rescanning needed to find where the field stops.
 
 A later load of column *j* asks :meth:`PositionalMap.anchor_for` for the
 closest already-known column at or before *j*.  Tokenization then starts at
 the anchor's byte offset and skips only ``j - anchor`` fields instead of
 ``j`` fields from the start of the row.  When the anchor *is* ``j`` the
 field is extracted with zero scanning.
+
+When both start and end offsets of every column a pass needs are known
+(:meth:`PositionalMap.can_slice`), the loader skips tokenization entirely:
+it reads only the required byte ranges from the file and gathers the
+fields directly (the selective-read fast path).  Offsets are *character*
+offsets into the decoded text; :meth:`record_text_geometry` remembers
+whether characters and bytes coincide (pure-ASCII files), which is the
+precondition for using the offsets as byte ranges.
 
 The map is append-only and never trusted blindly: it is invalidated
 together with all other derived state when the source file's fingerprint
@@ -45,11 +56,21 @@ class PositionalMap:
     field_offsets:
         Mapping column index -> ``int64[nrows]`` byte offset of that
         column's field start in every row.
+    field_ends:
+        Mapping column index -> ``int64[nrows]`` byte offset one past the
+        last character of that column's field in every row.
+    text_geometry:
+        ``(nbytes, nchars)`` of the file as last fully scanned, or ``None``
+        if no full scan has reported it yet.  When the two are equal the
+        file is pure single-byte text and learned character offsets are
+        valid byte ranges (see :attr:`sliceable`).
     """
 
     nrows: int | None = None
     row_offsets: np.ndarray | None = None
     field_offsets: dict[int, np.ndarray] = field(default_factory=dict)
+    field_ends: dict[int, np.ndarray] = field(default_factory=dict)
+    text_geometry: tuple[int, int] | None = None
 
     # ------------------------------------------------------------ learning
 
@@ -59,8 +80,10 @@ class PositionalMap:
             self.row_offsets = np.asarray(offsets, dtype=np.int64)
             self.nrows = len(self.row_offsets)
 
-    def record_field_offsets(self, col: int, offsets: np.ndarray) -> None:
-        """Store field-start offsets for ``col`` (idempotent)."""
+    def record_field_offsets(
+        self, col: int, offsets: np.ndarray, ends: np.ndarray | None = None
+    ) -> None:
+        """Store field-start (and optionally end) offsets for ``col``."""
         arr = np.asarray(offsets, dtype=np.int64)
         if self.nrows is not None and len(arr) != self.nrows:
             raise ValueError(
@@ -69,11 +92,38 @@ class PositionalMap:
         if self.nrows is None:
             self.nrows = len(arr)
         self.field_offsets.setdefault(col, arr)
+        if ends is not None:
+            end_arr = np.asarray(ends, dtype=np.int64)
+            if len(end_arr) != self.nrows:
+                raise ValueError(
+                    f"field ends for column {col} have {len(end_arr)} entries, expected {self.nrows}"
+                )
+            self.field_ends.setdefault(col, end_arr)
+
+    def record_text_geometry(self, nbytes: int, nchars: int) -> None:
+        """Remember the byte/character sizes seen by a full scan."""
+        if self.text_geometry is None:
+            self.text_geometry = (nbytes, nchars)
 
     # ----------------------------------------------------------- exploiting
 
     def knows_column(self, col: int) -> bool:
         return col in self.field_offsets
+
+    @property
+    def sliceable(self) -> bool:
+        """True when learned character offsets double as byte offsets."""
+        return self.text_geometry is not None and (
+            self.text_geometry[0] == self.text_geometry[1]
+        )
+
+    def can_slice(self, col: int) -> bool:
+        """True when ``col`` is a known byte range in every row."""
+        return col in self.field_offsets and col in self.field_ends
+
+    def slices_for(self, col: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(starts, ends)`` arrays of ``col``'s field byte ranges."""
+        return self.field_offsets[col], self.field_ends[col]
 
     def known_columns(self) -> list[int]:
         return sorted(self.field_offsets)
@@ -99,6 +149,8 @@ class PositionalMap:
         self.nrows = None
         self.row_offsets = None
         self.field_offsets.clear()
+        self.field_ends.clear()
+        self.text_geometry = None
 
     def memory_bytes(self) -> int:
         """Approximate resident size of the map, for budget accounting."""
@@ -106,5 +158,7 @@ class PositionalMap:
         if self.row_offsets is not None:
             total += self.row_offsets.nbytes
         for arr in self.field_offsets.values():
+            total += arr.nbytes
+        for arr in self.field_ends.values():
             total += arr.nbytes
         return total

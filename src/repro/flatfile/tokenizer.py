@@ -142,6 +142,7 @@ def tokenize_columns(
     for col in predicates:
         if col not in wanted:
             raise FlatFileError(f"predicate on column {col} which is not tokenized")
+    learn = learn and positional_map is not None
 
     stats = TokenizerStats()
     row_starts, row_ends = _row_bounds(text)
@@ -174,8 +175,13 @@ def tokenize_columns(
     # Per-column offset collection for learning (only when the pass visits
     # every row unconditionally — predicate-abandoned rows still have their
     # earlier fields visited, so offsets collected before the failing
-    # predicate remain valid for all rows).
-    learned: dict[int, list[int]] = {col: [] for col in wanted} if learn else {}
+    # predicate remain valid for all rows).  Columns merely scanned *over*
+    # on the way to a needed column are learned too: their delimiters are
+    # located anyway, and remembering them lets a later query on those
+    # columns take the selective-read fast path.
+    learn_cols = range(min(last_needed + 1, ncols)) if learn else ()
+    learned: dict[int, list[int]] = {col: [] for col in learn_cols}
+    learned_ends: dict[int, list[int]] = {col: [] for col in learn_cols}
 
     for row_idx in range(nrows):
         row_start = int(row_starts[row_idx])
@@ -200,12 +206,13 @@ def tokenize_columns(
                     raise FlatFileError(
                         f"row {row_idx} has fewer than {col + 1} fields"
                     )
+                if learn and len(learned[cur_col]) == row_idx:
+                    learned[cur_col].append(pos)
+                    learned_ends[cur_col].append(nxt)
                 stats.chars_scanned += nxt + 1 - pos
                 stats.fields_tokenized += 1
                 pos = nxt + 1
                 cur_col += 1
-            if learn and len(learned[col]) == row_idx:
-                learned[col].append(pos)
             fend = find(delimiter, pos, row_end)
             if fend == -1:
                 if cur_col != ncols - 1 and col != ncols - 1:
@@ -213,6 +220,9 @@ def tokenize_columns(
                         f"row {row_idx} has fewer than {ncols} fields"
                     )
                 fend = row_end
+            if learn and len(learned[col]) == row_idx:
+                learned[col].append(pos)
+                learned_ends[col].append(fend)
             value = text[pos:fend]
             stats.chars_scanned += fend - pos
             stats.fields_tokenized += 1
@@ -253,7 +263,9 @@ def tokenize_columns(
         for col, offsets in learned.items():
             if len(offsets) == nrows and not positional_map.knows_column(col):
                 positional_map.record_field_offsets(
-                    col, np.asarray(offsets, dtype=np.int64)
+                    col,
+                    np.asarray(offsets, dtype=np.int64),
+                    np.asarray(learned_ends[col], dtype=np.int64),
                 )
 
     return TokenizeResult(
@@ -261,6 +273,60 @@ def tokenize_columns(
         row_ids=np.asarray(out_rows, dtype=np.int64),
         stats=stats,
     )
+
+
+#: Above this field width the padded gather matrix (nrows x maxlen) stops
+#: paying for itself; fall back to direct per-slice extraction.
+_GATHER_MAX_FIELD = 256
+
+
+def gather_fields(
+    buffer: bytes, starts: np.ndarray, lengths: np.ndarray
+) -> list[str]:
+    """Extract ``buffer[starts[i] : starts[i] + lengths[i]]`` as strings.
+
+    The selective-read fast path knows every field's byte range from the
+    positional map, so no delimiter scanning happens at all: the fields are
+    gathered out of the read windows with one NumPy fancy-indexing step
+    (a ``(nrows, maxlen)`` gather, padded with NUL and viewed as
+    fixed-width bytes) instead of the tokenizer's per-row Python loop.
+    """
+    n = len(starts)
+    if n == 0:
+        return []
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if (lengths < 0).any():
+        raise FlatFileError("gather_fields: negative field length")
+    maxlen = int(lengths.max())
+    if maxlen == 0:
+        return [""] * n
+    if maxlen > _GATHER_MAX_FIELD:
+        return [
+            buffer[s : s + l].decode("utf-8")
+            for s, l in zip(starts.tolist(), lengths.tolist())
+        ]
+    buf = np.frombuffer(buffer, dtype=np.uint8)
+    if len(buf) == 0:
+        raise FlatFileError("gather_fields: non-empty fields but empty buffer")
+    offs = np.arange(maxlen, dtype=np.int64)
+    idx = starts[:, None] + offs[None, :]
+    np.clip(idx, 0, max(len(buf) - 1, 0), out=idx)
+    chars = buf[idx]
+    chars[offs[None, :] >= lengths[:, None]] = 0
+    padded = np.ascontiguousarray(chars).view(f"S{maxlen}").ravel()
+    decoded = np.char.decode(padded, "utf-8")
+    # The S-dtype view strips trailing NULs, which would truncate a field
+    # that legitimately ends in NUL bytes; re-slice the (rare) mismatches
+    # directly so the gather is byte-exact versus the full-scan route.
+    bad = np.nonzero(np.char.str_len(decoded) != lengths)[0]
+    if len(bad) == 0:
+        return decoded.tolist()
+    out = decoded.tolist()
+    for i in bad.tolist():
+        s, l = int(starts[i]), int(lengths[i])
+        out[i] = buffer[s : s + l].decode("utf-8")
+    return out
 
 
 def split_rows(text: str, delimiter: str = ",") -> list[list[str]]:

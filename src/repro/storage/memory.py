@@ -76,7 +76,11 @@ class MemoryManager:
         existing = self.fragments.get(key)
         if existing is not None:
             existing.nbytes = nbytes
-            existing.last_used = tick
+            # Under FIFO, ``last_used`` is the insertion order and must
+            # survive resizes — refreshing it here would silently turn
+            # FIFO into LRU for any fragment that grows.
+            if self.policy == "lru":
+                existing.last_used = tick
             existing.dropper = dropper
             existing.pinned = pinned
         else:

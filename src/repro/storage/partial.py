@@ -104,6 +104,28 @@ class PartialColumn:
         self.add_certificate(CoverageCertificate(Condition()))
         return newly
 
+    def widen(self, dtype: DataType) -> None:
+        """Change the column's type to a wider one (schema widening).
+
+        Numeric-to-numeric widening (int64 → float64) converts any loaded
+        values in place, preserving fragments and certificates (and the
+        budget accounting: logical bytes per numeric value are equal).
+        Widening to string drops loaded data instead — the paper's
+        lifetime principle makes that always legal, at worst one reload
+        away.  The memory manager's registration is refreshed when the
+        widened column is re-stored later in the same pass; in the brief
+        window in between its stale entry may at worst be "evicted",
+        which re-calls the (idempotent) drop.
+        """
+        if dtype is self.dtype:
+            return
+        if self.values is not None:
+            if dtype.is_numeric and self.dtype.is_numeric:
+                self.values = self.values.astype(dtype.numpy_dtype)
+            else:
+                self.drop()
+        self.dtype = dtype
+
     def add_certificate(self, cert: CoverageCertificate) -> None:
         """Record coverage, dropping certificates the new one subsumes."""
         if cert.is_full:

@@ -1,0 +1,223 @@
+"""The selective-read fast path: byte savings and result equivalence.
+
+The positional map is the paper's "table of contents over the flat files"
+(section 4.1.5).  Once it knows every row and field offset a pass needs,
+``run_pass`` must stop re-reading the whole file: a repeat query reads only
+the byte ranges of the fields it touches, strictly less than the file.
+These tests pin both halves of that promise — the bytes saved *and* the
+answers staying identical to the full-scan route.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, NoDBEngine
+from repro.config import POLICIES
+from repro.core.loader import column_load_pass, partial_load_pass
+from repro.flatfile.tokenizer import split_rows
+from repro.ranges import Condition, ValueInterval
+from repro.storage.catalog import Catalog
+
+CONFIG = EngineConfig()
+
+
+def _write(path, rows, line_ending="\n"):
+    path.write_text(line_ending.join(rows) + line_ending)
+    return path
+
+
+class TestRepeatQueryBytes:
+    """Acceptance criterion: warm-map repeat query reads < file size."""
+
+    @pytest.fixture
+    def csv_file(self, tmp_path):
+        rows = [",".join(str(i * 10 + j) for j in range(8)) for i in range(500)]
+        return _write(tmp_path / "r.csv", rows)
+
+    def test_partial_v1_repeat_reads_strictly_less(self, csv_file):
+        engine = NoDBEngine(EngineConfig(policy="partial_v1"))
+        engine.attach("r", csv_file)
+        first = engine.query("select sum(a2) from r where a2 > 100")
+        cold_bytes = engine.stats.last().file_bytes_read
+        second = engine.query("select sum(a2) from r where a2 > 100")
+        warm_bytes = engine.stats.last().file_bytes_read
+        size = csv_file.stat().st_size
+        assert cold_bytes == size  # first touch scans everything
+        assert 0 < warm_bytes < size  # the map pays off
+        assert engine.stats.last().went_to_file
+        assert first.approx_equal(second)
+        engine.close()
+
+    def test_toggle_off_restores_full_scans(self, csv_file):
+        engine = NoDBEngine(
+            EngineConfig(policy="partial_v1", selective_reads=False)
+        )
+        engine.attach("r", csv_file)
+        engine.query("select sum(a2) from r where a2 > 100")
+        engine.query("select sum(a2) from r where a2 > 100")
+        assert engine.stats.last().file_bytes_read == csv_file.stat().st_size
+        engine.close()
+
+    def test_column_load_after_full_row_scan_is_selective(self, csv_file):
+        """A query on the last column teaches the map every field range;
+        loading any other column afterwards touches only that column."""
+        engine = NoDBEngine(EngineConfig(policy="column_loads"))
+        engine.attach("r", csv_file)
+        engine.query("select sum(a8) from r")  # scans whole rows, learns all
+        engine.query("select sum(a3) from r")  # new column: selective load
+        q = engine.stats.last()
+        assert q.went_to_file
+        assert 0 < q.file_bytes_read < csv_file.stat().st_size
+        engine.close()
+
+    def test_reload_after_eviction_is_selective(self, csv_file):
+        """Eviction drops column data but not the map: reloads stay cheap."""
+        engine = NoDBEngine(
+            EngineConfig(policy="column_loads", memory_budget_bytes=5000)
+        )
+        engine.attach("r", csv_file)
+        engine.query("select sum(a8) from r")  # learn everything
+        engine.query("select sum(a3) from r")  # evicts a8 under the budget
+        engine.query("select sum(a8) from r")  # reload of a8
+        q = engine.stats.last()
+        assert q.went_to_file
+        assert 0 < q.file_bytes_read < csv_file.stat().st_size
+        engine.close()
+
+
+class TestEquivalence:
+    """Selective route answers == full-scan answers == split_rows truth."""
+
+    @pytest.mark.parametrize(
+        "delimiter,line_ending,header",
+        [
+            (",", "\n", False),
+            (";", "\n", False),
+            ("|", "\n", True),
+            (",", "\r\n", False),
+            (",", "\r\n", True),
+        ],
+    )
+    def test_loader_matches_ground_truth(
+        self, tmp_path, delimiter, line_ending, header
+    ):
+        rows = [
+            delimiter.join(str(i * 7 + j) for j in range(4)) for i in range(60)
+        ]
+        if header:
+            rows.insert(0, delimiter.join(["w", "x", "y", "z"]))
+        path = _write(tmp_path / "t.csv", rows, line_ending)
+        entry = Catalog().attach("t", path, delimiter=delimiter)
+        names = ["w", "x", "y", "z"] if header else ["a1", "a2", "a3", "a4"]
+
+        cold = column_load_pass(entry, [names[2]], CONFIG)
+        warm = column_load_pass(entry, [names[2]], CONFIG)
+        # The second pass must have gone selective: fewer bytes than size.
+        assert entry.file.stats.full_scans == 1
+
+        truth_rows = split_rows(path.read_text(), delimiter)
+        if header:
+            truth_rows = truth_rows[1:]
+        truth = [int(r[2]) for r in truth_rows]
+        assert cold.columns[names[2]].tolist() == truth
+        assert warm.columns[names[2]].tolist() == truth
+        assert warm.nrows == cold.nrows == len(truth)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_engine_answers_identical_with_and_without_fast_path(
+        self, tmp_path, policy
+    ):
+        rows = [",".join(str(i * 3 + j) for j in range(5)) for i in range(200)]
+        path = _write(tmp_path / "t.csv", rows)
+        sqls = [
+            "select sum(a2), avg(a4) from t where a2 > 30 and a2 < 400",
+            "select sum(a2), avg(a4) from t where a2 > 30 and a2 < 400",
+            "select count(*) from t",
+            "select min(a1), max(a5) from t where a4 > 100",
+        ]
+        results = {}
+        for selective in (True, False):
+            engine = NoDBEngine(
+                EngineConfig(policy=policy, selective_reads=selective)
+            )
+            engine.attach("t", path)
+            results[selective] = [engine.query(s) for s in sqls]
+            engine.close()
+        for with_fast, without_fast in zip(results[True], results[False]):
+            assert with_fast.approx_equal(without_fast)
+
+    def test_selective_pushdown_filters_like_scan_route(self, tmp_path):
+        rows = [f"{i},{i * 2},{i * 3}" for i in range(100)]
+        path = _write(tmp_path / "t.csv", rows)
+        entry = Catalog().attach("t", path)
+        # Teach the map every field range with one full-row scan (a
+        # predicate pass abandons rows early and cannot learn a3 itself).
+        column_load_pass(entry, ["a3"], CONFIG)
+        condition = Condition([("a1", ValueInterval(10, 20))])
+        warm = partial_load_pass(entry, ["a1", "a3"], condition, CONFIG)
+        assert warm.row_ids.tolist() == list(range(11, 20))
+        assert warm.columns["a3"].tolist() == [i * 3 for i in range(11, 20)]
+        assert warm.tokenizer.rows_scanned == 100
+        assert warm.tokenizer.rows_emitted == 9
+        assert warm.tokenizer.rows_abandoned == 91
+        # The partial pass went selective: only the teaching pass scanned.
+        assert entry.file.stats.full_scans == 1
+
+    def test_predicate_on_later_column_selective(self, tmp_path):
+        rows = [f"{i},{i * 2},{i * 3}" for i in range(100)]
+        path = _write(tmp_path / "t.csv", rows)
+        entry = Catalog().attach("t", path)
+        condition = Condition([("a3", ValueInterval(30, 60))])
+        partial_load_pass(entry, ["a1", "a3"], condition, CONFIG)
+        warm = partial_load_pass(entry, ["a1", "a3"], condition, CONFIG)
+        assert warm.columns["a1"].tolist() == [
+            i for i in range(100) if 30 < i * 3 < 60
+        ]
+
+
+class TestSafetyGates:
+    def test_non_ascii_file_never_goes_selective(self, tmp_path):
+        rows = ["1,ä", "2,ö", "3,ü"] + [f"{i},x{i}" for i in range(50)]
+        path = _write(tmp_path / "t.csv", rows)
+        entry = Catalog().attach("t", path)
+        column_load_pass(entry, ["a2"], CONFIG)
+        assert not entry.positional_map.sliceable
+        column_load_pass(entry, ["a2"], CONFIG)
+        # Both passes were full scans: offsets are char-based, file is not.
+        assert entry.file.stats.full_scans == 2
+
+    def test_map_disabled_never_goes_selective(self, tmp_path):
+        rows = [f"{i},{i}" for i in range(50)]
+        path = _write(tmp_path / "t.csv", rows)
+        entry = Catalog().attach("t", path)
+        cfg = EngineConfig(use_positional_map=False)
+        column_load_pass(entry, ["a1"], cfg)
+        column_load_pass(entry, ["a1"], cfg)
+        assert entry.file.stats.full_scans == 2
+
+    def test_file_edit_invalidates_fast_path(self, tmp_path):
+        import time
+
+        path = _write(tmp_path / "t.csv", ["1,2", "3,4"])
+        engine = NoDBEngine(EngineConfig(policy="partial_v1"))
+        engine.attach("t", path)
+        assert engine.query("select sum(a1) from t where a1 > 0").scalar() == 4
+        time.sleep(0.02)
+        _write(path, ["10,2", "30,4", "50,6"])
+        assert engine.query("select sum(a1) from t where a1 > 0").scalar() == 90
+        engine.close()
+
+    def test_wide_table_selection_prefers_full_scan(self, tmp_path):
+        """Selecting (nearly) every byte falls back to one sequential read."""
+        rows = [f"{i},{i}" for i in range(50)]
+        path = _write(tmp_path / "t.csv", rows)
+        entry = Catalog().attach("t", path)
+        column_load_pass(entry, ["a1", "a2"], CONFIG)
+        assert entry.positional_map.can_slice(0)
+        assert entry.positional_map.can_slice(1)
+        column_load_pass(entry, ["a1", "a2"], CONFIG)
+        # Both columns cover ~the whole file; windowed reads would not
+        # beat a single sequential scan, so the loader does not bother.
+        assert entry.file.stats.full_scans == 2

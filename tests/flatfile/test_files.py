@@ -3,10 +3,11 @@
 import os
 import time
 
+import numpy as np
 import pytest
 
 from repro.errors import FlatFileError
-from repro.flatfile.files import FileFingerprint, FlatFile
+from repro.flatfile.files import FileFingerprint, FlatFile, coalesce_ranges
 
 
 @pytest.fixture
@@ -64,6 +65,78 @@ class TestAccounting:
         rows = f.sample_rows(limit=2)
         assert rows == [["1", "2"], ["3", "4"]]
         assert f.stats.bytes_read <= f.size_bytes()
+
+
+class TestCoalesce:
+    def _merge(self, ranges, max_gap=0):
+        starts = np.array([s for s, _ in ranges], dtype=np.int64)
+        ends = np.array([e for _, e in ranges], dtype=np.int64)
+        ws, we = coalesce_ranges(starts, ends, max_gap)
+        return list(zip(ws.tolist(), we.tolist()))
+
+    def test_empty(self):
+        assert self._merge([]) == []
+
+    def test_disjoint_stay_separate(self):
+        assert self._merge([(0, 3), (10, 12)]) == [(0, 3), (10, 12)]
+
+    def test_touching_merge(self):
+        assert self._merge([(0, 3), (3, 6)]) == [(0, 6)]
+
+    def test_overlapping_merge(self):
+        assert self._merge([(0, 5), (3, 8)]) == [(0, 8)]
+
+    def test_gap_tolerance(self):
+        assert self._merge([(0, 3), (5, 8)], max_gap=2) == [(0, 8)]
+        assert self._merge([(0, 3), (6, 8)], max_gap=2) == [(0, 3), (6, 8)]
+
+    def test_unsorted_input(self):
+        assert self._merge([(10, 12), (0, 3), (2, 5)]) == [(0, 5), (10, 12)]
+
+    def test_contained_range_absorbed(self):
+        assert self._merge([(0, 20), (5, 8), (25, 30)]) == [(0, 20), (25, 30)]
+
+    def test_malformed_rejected(self):
+        with pytest.raises(FlatFileError):
+            self._merge([(5, 2)])
+        with pytest.raises(FlatFileError):
+            self._merge([(-1, 2)])
+        with pytest.raises(FlatFileError):
+            self._merge([(0, 2)], max_gap=-1)
+
+
+class TestReadWindows:
+    def test_reads_only_requested_bytes(self, csv_file):
+        f = FlatFile(csv_file)  # "1,2\n3,4\n5,6\n"
+        win = f.read_windows(np.array([0, 8]), np.array([3, 11]))
+        assert win.buffer == b"1,2" + b"5,6"
+        assert f.stats.bytes_read == 6
+        assert f.stats.read_calls == 2
+        assert f.stats.full_scans == 0
+
+    def test_translate_maps_file_offsets_into_buffer(self, csv_file):
+        f = FlatFile(csv_file)
+        win = f.read_windows(np.array([0, 8]), np.array([3, 11]))
+        local = win.translate(np.array([8, 0, 10]))
+        assert [win.buffer[i : i + 1] for i in local.tolist()] == [b"5", b"1", b"6"]
+
+    def test_translate_outside_windows_rejected(self, csv_file):
+        f = FlatFile(csv_file)
+        win = f.read_windows(np.array([0]), np.array([3]))
+        with pytest.raises(FlatFileError):
+            win.translate(np.array([7]))
+
+    def test_gap_merges_into_single_read(self, csv_file):
+        f = FlatFile(csv_file)
+        win = f.read_windows(np.array([0, 5]), np.array([3, 7]), max_gap=4)
+        assert f.stats.read_calls == 1
+        assert win.buffer == b"1,2\n3,4"
+
+    def test_empty_request(self, csv_file):
+        f = FlatFile(csv_file)
+        win = f.read_windows(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert win.buffer == b""
+        assert f.stats.bytes_read == 0
 
 
 class TestThrottle:

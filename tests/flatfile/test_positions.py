@@ -58,15 +58,52 @@ class TestAnchors:
         assert col == 2
 
 
+class TestSlices:
+    def test_can_slice_needs_starts_and_ends(self):
+        m = PositionalMap()
+        m.record_field_offsets(1, np.array([2, 12]))
+        assert m.knows_column(1)
+        assert not m.can_slice(1)
+        m2 = PositionalMap()
+        m2.record_field_offsets(1, np.array([2, 12]), np.array([4, 14]))
+        assert m2.can_slice(1)
+        starts, ends = m2.slices_for(1)
+        assert list(starts) == [2, 12]
+        assert list(ends) == [4, 14]
+
+    def test_end_length_mismatch_rejected(self):
+        m = PositionalMap()
+        m.record_row_offsets(np.array([0, 10]))
+        with pytest.raises(ValueError):
+            m.record_field_offsets(0, np.array([0, 10]), np.array([3]))
+
+    def test_geometry_first_writer_wins(self):
+        m = PositionalMap()
+        assert not m.sliceable
+        m.record_text_geometry(nbytes=100, nchars=100)
+        m.record_text_geometry(nbytes=5, nchars=9)
+        assert m.text_geometry == (100, 100)
+        assert m.sliceable
+
+    def test_multibyte_text_not_sliceable(self):
+        m = PositionalMap()
+        m.record_text_geometry(nbytes=102, nchars=100)
+        assert not m.sliceable
+
+
 class TestLifecycle:
     def test_clear(self):
         m = PositionalMap()
         m.record_row_offsets(np.array([0]))
-        m.record_field_offsets(0, np.array([0]))
+        m.record_field_offsets(0, np.array([0]), np.array([1]))
+        m.record_text_geometry(nbytes=2, nchars=2)
         m.clear()
         assert m.nrows is None
         assert m.row_offsets is None
         assert not m.field_offsets
+        assert not m.field_ends
+        assert m.text_geometry is None
+        assert not m.sliceable
 
     def test_memory_accounting(self):
         m = PositionalMap()

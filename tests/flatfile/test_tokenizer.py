@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.errors import FlatFileError
 from repro.flatfile.positions import PositionalMap
-from repro.flatfile.tokenizer import split_rows, tokenize_columns
+from repro.flatfile.tokenizer import gather_fields, split_rows, tokenize_columns
 
 TEXT = "10,20,30,40\n11,21,31,41\n12,22,32,42\n"
 
@@ -156,6 +156,83 @@ class TestPositionalMapIntegration:
         # Column 0 was seen in every row; column 2 only in qualifying rows.
         assert pmap.knows_column(0)
         assert not pmap.knows_column(2)
+
+
+class TestFieldEndLearning:
+    def test_ends_recorded_with_starts(self):
+        pmap = PositionalMap()
+        tokenize_columns(TEXT, 4, [1], positional_map=pmap)
+        assert pmap.can_slice(1)
+        starts, ends = pmap.slices_for(1)
+        assert [TEXT[s:e] for s, e in zip(starts, ends)] == ["20", "21", "22"]
+
+    def test_last_column_end_is_row_end(self):
+        pmap = PositionalMap()
+        tokenize_columns("1,2\n3,45\n", 2, [1], positional_map=pmap)
+        starts, ends = pmap.slices_for(1)
+        assert ["1,2\n3,45\n"[s:e] for s, e in zip(starts, ends)] == ["2", "45"]
+
+    def test_crlf_end_excludes_carriage_return(self):
+        text = "1,2\r\n3,4\r\n"
+        pmap = PositionalMap()
+        tokenize_columns(text, 2, [1], positional_map=pmap)
+        starts, ends = pmap.slices_for(1)
+        assert [text[s:e] for s, e in zip(starts, ends)] == ["2", "4"]
+
+    def test_scanned_over_columns_learned_too(self):
+        """Columns tokenized merely to reach a needed one are remembered."""
+        pmap = PositionalMap()
+        tokenize_columns(TEXT, 4, [2], positional_map=pmap)
+        assert pmap.can_slice(0)
+        assert pmap.can_slice(1)
+        assert pmap.can_slice(2)
+        assert not pmap.knows_column(3)
+        starts, ends = pmap.slices_for(1)
+        assert [TEXT[s:e] for s, e in zip(starts, ends)] == ["20", "21", "22"]
+
+
+class TestGatherFields:
+    def test_simple_gather(self):
+        buf = b"10,20,30"
+        out = gather_fields(buf, np.array([0, 3, 6]), np.array([2, 2, 2]))
+        assert out == ["10", "20", "30"]
+
+    def test_ragged_lengths(self):
+        buf = b"7,1234,x"
+        out = gather_fields(buf, np.array([0, 2, 7]), np.array([1, 4, 1]))
+        assert out == ["7", "1234", "x"]
+
+    def test_zero_length_fields(self):
+        out = gather_fields(b"a,,b", np.array([0, 2, 3]), np.array([1, 0, 1]))
+        assert out == ["a", "", "b"]
+
+    def test_all_empty(self):
+        assert gather_fields(b"xy", np.array([0, 1]), np.array([0, 0])) == ["", ""]
+
+    def test_empty_input(self):
+        assert gather_fields(b"", np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)) == []
+
+    def test_wide_field_fallback_path(self):
+        wide = "9" * 1000
+        buf = f"a,{wide},b".encode()
+        out = gather_fields(
+            buf, np.array([0, 2, 1003]), np.array([1, 1000, 1])
+        )
+        assert out == ["a", wide, "b"]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(FlatFileError):
+            gather_fields(b"ab", np.array([0]), np.array([-1]))
+
+    def test_matches_python_slicing(self):
+        rng = np.random.default_rng(7)
+        buf = bytes(rng.integers(48, 58, size=200, dtype=np.uint8))
+        starts = rng.integers(0, 150, size=50, dtype=np.int64)
+        lengths = rng.integers(0, 30, size=50, dtype=np.int64)
+        expected = [
+            buf[s : s + l].decode() for s, l in zip(starts.tolist(), lengths.tolist())
+        ]
+        assert gather_fields(buf, starts, lengths) == expected
 
 
 class TestSplitRows:

@@ -46,6 +46,30 @@ def test_fifo_ignores_touches():
     assert not b.dropped
 
 
+def test_fifo_ignores_resizes():
+    """Re-registering (resizing) a fragment must not refresh its FIFO
+    position — insertion order is the only order FIFO knows."""
+    m = MemoryManager(budget_bytes=100, policy="fifo")
+    a, b, c = Fragment(), Fragment(), Fragment()
+    m.register(("t", "a"), 30, a.drop)
+    m.register(("t", "b"), 40, b.drop)
+    m.register(("t", "a"), 40, a.drop)  # a grows; still the oldest
+    m.register(("t", "c"), 40, c.drop)
+    assert a.dropped  # FIFO: a entered first, a leaves first
+    assert not b.dropped and not c.dropped
+
+
+def test_lru_resize_refreshes_recency():
+    m = MemoryManager(budget_bytes=100, policy="lru")
+    a, b, c = Fragment(), Fragment(), Fragment()
+    m.register(("t", "a"), 30, a.drop)
+    m.register(("t", "b"), 40, b.drop)
+    m.register(("t", "a"), 40, a.drop)  # a re-used: most recent now
+    m.register(("t", "c"), 40, c.drop)
+    assert b.dropped
+    assert not a.dropped and not c.dropped
+
+
 def test_oversized_fragment_admitted_alone():
     m = MemoryManager(budget_bytes=100)
     big = Fragment()

@@ -141,16 +141,23 @@ class TestFailureInjection:
             with pytest.raises(BindError):
                 engine.query("select sum(a2) from t")
 
-    def test_late_corruption_detected_at_parse(self, tmp_path):
-        """A value bad *beyond* the inference sample fails loudly, not
-        silently."""
+    def test_late_corruption_widens_then_fails_loudly(self, tmp_path):
+        """A non-numeric value *beyond* the inference sample widens the
+        column to str instead of crashing the load; the numeric aggregate
+        over the now-textual column then fails loudly, never silently."""
         good_rows = "\n".join(f"{i},{i}" for i in range(200))
         path = tmp_path / "late.csv"
         path.write_text(good_rows + "\nxxx,5\n")
         with NoDBEngine() as engine:
             engine.attach("t", path)
-            with pytest.raises(FlatFileError, match="int64"):
+            from repro.errors import ExecutionError
+
+            with pytest.raises(ExecutionError, match="string column"):
                 engine.query("select sum(a1) from t")
+            # The table stays queryable: the other column still aggregates
+            # and the widened column still answers count/min/max.
+            assert engine.query("select sum(a2) from t").scalar() == sum(range(200)) + 5
+            assert engine.query("select count(a1) from t").scalar() == 201
 
     def test_empty_file_rejected(self, tmp_path):
         path = tmp_path / "empty.csv"
