@@ -11,16 +11,20 @@ roughly double the bytes on disk, and editing the original file drops
 them all (section 5.4).
 
 Run:  python examples/file_cracking.py
+(set REPRO_EXAMPLE_ROWS to shrink the dataset, e.g. for CI smoke runs)
 """
 
 from __future__ import annotations
 
+import os
 import tempfile
 import time
 from pathlib import Path
 
 from repro import EngineConfig, NoDBEngine
 from repro.workload import TableSpec, materialize_csv
+
+ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "60000"))
 
 
 def describe_catalog(engine: NoDBEngine) -> str:
@@ -38,7 +42,7 @@ def describe_catalog(engine: NoDBEngine) -> str:
 
 def main() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="repro-cracking-"))
-    path = materialize_csv(TableSpec(nrows=60_000, ncols=12, seed=5), workdir / "big.csv")
+    path = materialize_csv(TableSpec(nrows=ROWS, ncols=12, seed=5), workdir / "big.csv")
     original_size = path.stat().st_size
     print(f"raw file: {path} ({original_size:,} bytes)\n")
 

@@ -8,20 +8,24 @@ The complete NoDB loop in one minute:
 4. watch the adaptive store fill in only what the queries needed.
 
 Run:  python examples/quickstart.py
+(set REPRO_EXAMPLE_ROWS to shrink the dataset, e.g. for CI smoke runs)
 """
 
 from __future__ import annotations
 
+import os
 import tempfile
 from pathlib import Path
 
 from repro import EngineConfig, NoDBEngine
 from repro.workload import TableSpec, materialize_csv
 
+ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "100000"))
+
 
 def main() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="repro-quickstart-"))
-    csv_path = materialize_csv(TableSpec(nrows=100_000, ncols=4, seed=7), workdir / "data.csv")
+    csv_path = materialize_csv(TableSpec(nrows=ROWS, ncols=4, seed=7), workdir / "data.csv")
     print(f"raw data file: {csv_path} ({csv_path.stat().st_size:,} bytes)")
 
     engine = NoDBEngine(EngineConfig(policy="column_loads"))

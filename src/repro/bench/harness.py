@@ -1,4 +1,4 @@
-"""Timing harness for query sequences.
+"""Timing harness for query sequences, plus the bench-script CLI contract.
 
 The paper's figures plot *per-query* response time over a query sequence
 (not a steady-state mean), so the central helper here is
@@ -6,13 +6,31 @@ The paper's figures plot *per-query* response time over a query sequence
 record each query's wall-clock time plus the engine's own work counters.
 ``pytest-benchmark`` wraps whole sequences in the bench files; within a
 sequence this harness provides the per-query resolution the figures need.
+
+The second half of this module is the shared command-line contract of the
+scripts under ``benchmarks/``: every script builds its parser with
+:func:`bench_arg_parser` (so ``--quick``, ``--json``, ``--rows`` and
+``--repeats`` mean the same thing everywhere, instead of each script
+hardcoding iteration counts), sizes itself with :func:`iterations` /
+:func:`dataset_rows`, and reports through :class:`BenchReport`, whose
+JSON payload is what the CI ``bench-regression`` job diffs against the
+committed ``BENCH_BASELINE.json``.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
+import platform
+import sys
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
+
+#: ``--quick`` divides a bench's full iteration count by this much.
+QUICK_DIVISOR = 5
 
 
 @dataclass
@@ -68,3 +86,99 @@ def time_callable(fn: Callable[[], object]) -> float:
     start = time.perf_counter()
     fn()
     return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# the shared bench-script CLI
+# ---------------------------------------------------------------------------
+
+
+def bench_arg_parser(description: str) -> argparse.ArgumentParser:
+    """The argument parser every ``benchmarks/*.py`` script shares.
+
+    ``--quick`` shrinks datasets and iteration counts to CI scale,
+    ``--json PATH`` emits the machine-readable result the regression gate
+    consumes, and ``--rows`` / ``--repeats`` override the script's
+    defaults explicitly (they win over ``--quick``).
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: small dataset, few iterations",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write machine-readable results to PATH",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the dataset row count",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the iteration count",
+    )
+    return parser
+
+
+def iterations(args: argparse.Namespace, full: int) -> int:
+    """Effective iteration count: ``--repeats`` > ``--quick`` > full."""
+    if args.repeats is not None:
+        return max(1, args.repeats)
+    if args.quick:
+        return max(1, full // QUICK_DIVISOR)
+    return full
+
+
+def dataset_rows(args: argparse.Namespace, full: int, quick: int) -> int:
+    """Effective dataset rows: ``--rows`` > ``--quick`` > full."""
+    if args.rows is not None:
+        return max(1, args.rows)
+    return quick if args.quick else full
+
+
+@dataclass
+class BenchReport:
+    """One bench script's result, printable and JSON-serializable.
+
+    ``metrics`` holds the numbers the regression gate compares (all of
+    them throughput-shaped: higher is better).  ``info`` holds context
+    that is reported but never gated (sizes, iteration counts, flags).
+    """
+
+    bench: str
+    metrics: dict[str, float]
+    info: dict[str, object] = field(default_factory=dict)
+
+    def payload(self) -> dict:
+        return {
+            "bench": self.bench,
+            "metrics": self.metrics,
+            "info": dict(self.info),
+            "env": {
+                "cpu_count": os.cpu_count() or 1,
+                "python": platform.python_version(),
+            },
+        }
+
+    def emit(self, json_path: Path | None, stream=None) -> None:
+        """Print a human summary; write the JSON payload when asked."""
+        stream = stream if stream is not None else sys.stdout
+        print(f"[{self.bench}]", file=stream)
+        for key, value in self.metrics.items():
+            print(f"  {key:>24} = {value:.4g}", file=stream)
+        for key, value in self.info.items():
+            print(f"  {key:>24} : {value}", file=stream)
+        if json_path is not None:
+            json_path.write_text(json.dumps(self.payload(), indent=2) + "\n")
+            print(f"  wrote {json_path}", file=stream)

@@ -56,6 +56,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--delimiter", default=",", help="field delimiter (default: ',')"
     )
     parser.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition first-pass scans of large files across N workers "
+        "(0 = one per CPU; default: 1, serial)",
+    )
+    parser.add_argument(
+        "--partition-min-bytes",
+        type=int,
+        default=EngineConfig.partition_min_bytes,
+        metavar="BYTES",
+        help="never parallelize partitions smaller than this "
+        f"(default: {EngineConfig.partition_min_bytes})",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print per-query work counters after each result",
@@ -80,11 +96,16 @@ def table_names(files: list[Path]) -> list[str]:
 def _print_stats(engine: NoDBEngine, out) -> None:
     q = engine.stats.last()
     source = "adaptive store" if q.served_from_store else "flat file(s)"
+    parallel = (
+        f" | parallel partitions {q.parallel_partitions}"
+        if q.parallel_partitions
+        else ""
+    )
     print(
         f"-- {q.elapsed_s * 1e3:.1f} ms | {source} | "
         f"bytes read {q.file_bytes_read:,} | "
         f"values parsed {q.parse.values_parsed:,} | "
-        f"rows loaded {q.rows_loaded:,}",
+        f"rows loaded {q.rows_loaded:,}" + parallel,
         file=out,
     )
 
@@ -128,7 +149,15 @@ def main(argv: list[str] | None = None, stdin=None, stdout=None, stderr=None) ->
         print("error: no SQL given (or use --shell)", file=stderr)
         return 1
 
-    config = EngineConfig(policy=args.policy)
+    try:
+        config = EngineConfig(
+            policy=args.policy,
+            parallel_workers=args.parallel_workers,
+            partition_min_bytes=args.partition_min_bytes,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=stderr)
+        return 1
     if args.auto:
         engine = AutoTuningEngine(config)
         raw_engine = engine.engine

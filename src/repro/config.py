@@ -9,6 +9,7 @@ working directory.
 
 from __future__ import annotations
 
+import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -52,6 +53,25 @@ class EngineConfig:
         Byte ranges closer than this are merged into one window read on the
         selective path.  Larger values trade extra bytes read for fewer
         seek+read calls; ``0`` merges only touching ranges.
+    parallel_workers:
+        Number of workers for the partitioned parallel scan.  ``1``
+        (default) keeps every pass serial.  With ``N > 1``, first-pass
+        tokenize/parse work over large files is split into up to ``N``
+        newline-aligned row-range partitions processed by a process pool,
+        and warm windowed reads on the selective path use up to ``N``
+        threads.  ``0`` means "one worker per CPU".
+    partition_min_bytes:
+        Never create a row-range partition smaller than this many bytes;
+        files smaller than two minimum-size partitions are scanned
+        serially regardless of ``parallel_workers`` (pool dispatch costs
+        more than it saves on small files).
+    parallel_start_method:
+        Multiprocessing start method for the scan worker pool: ``None``
+        (default) prefers ``fork`` where available — cheap, and safe for
+        scripts/notebooks because workers never re-execute the host's
+        ``__main__``.  Multi-threaded host applications should set
+        ``"forkserver"`` or ``"spawn"``: forking a threaded process can
+        copy held locks into the children.
     tokenizer_early_abort:
         Stop tokenizing a row once the last needed column has been seen
         (section 3.2).
@@ -90,6 +110,9 @@ class EngineConfig:
     use_positional_map: bool = True
     selective_reads: bool = True
     selective_read_max_gap: int = 4
+    parallel_workers: int = 1
+    partition_min_bytes: int = 1 << 20
+    parallel_start_method: str | None = None
     tokenizer_early_abort: bool = True
     predicate_pushdown: bool = True
     splitfile_dir: Path | None = None
@@ -108,6 +131,14 @@ class EngineConfig:
             raise ValueError(f"unknown eviction policy {self.eviction_policy!r}")
         if self.selective_read_max_gap < 0:
             raise ValueError("selective_read_max_gap must be non-negative")
+        if self.parallel_workers < 0:
+            raise ValueError("parallel_workers must be >= 1, or 0 for one per CPU")
+        if self.partition_min_bytes <= 0:
+            raise ValueError("partition_min_bytes must be positive")
+        if self.parallel_start_method not in (None, "fork", "forkserver", "spawn"):
+            raise ValueError(
+                "parallel_start_method must be None, 'fork', 'forkserver' or 'spawn'"
+            )
         if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
             raise ValueError("memory_budget_bytes must be positive or None")
         if self.splitfile_dir is not None:
@@ -116,6 +147,12 @@ class EngineConfig:
             raise ValueError("persist_loads requires binary_store_dir")
         if self.binary_store_dir is not None:
             self.binary_store_dir = Path(self.binary_store_dir)
+
+    def resolved_parallel_workers(self) -> int:
+        """The effective worker count (``0`` resolves to the CPU count)."""
+        if self.parallel_workers == 0:
+            return os.cpu_count() or 1
+        return self.parallel_workers
 
     def resolve_splitfile_dir(self) -> Path:
         """Return the split-file directory, creating a temp dir on demand."""

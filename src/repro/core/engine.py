@@ -168,6 +168,7 @@ class NoDBEngine:
             "elapsed_s": qstats.elapsed_s,
             "served_from_store": qstats.served_from_store,
             "file_bytes_read": qstats.file_bytes_read,
+            "parallel_partitions": qstats.parallel_partitions,
         }
         return result
 

@@ -18,7 +18,7 @@ All passes discover the table's row count as a side effect, feed the
 positional map when enabled, and honour the tokenizer ablation toggles in
 :class:`~repro.config.EngineConfig`.
 
-Two routes exist through :func:`run_pass`:
+Three routes exist through :func:`run_pass`:
 
 * the **full-scan route** reads the whole file and tokenizes selectively
   (the behaviour of every paper figure);
@@ -26,7 +26,12 @@ Two routes exist through :func:`run_pass`:
   activates when the positional map already knows the byte range of every
   field the pass needs: only those ranges are read from the file, in
   coalesced window reads, and the fields are gathered vectorized — a
-  repeat query touches strictly less of the file than its first run.
+  repeat query touches strictly less of the file than its first run;
+* the **partitioned parallel route** (:mod:`repro.core.partitions`)
+  activates for cold scans of large files when ``parallel_workers > 1``:
+  the file is split into newline-aligned row-range partitions scanned by
+  a process pool, and the per-partition results are merged back into the
+  exact output the serial full-scan route would have produced.
 
 Typed parsing is widening: a value that does not fit the inferred column
 type (e.g. a float deep in a column sampled as int) widens the column —
@@ -44,8 +49,13 @@ from repro.errors import FlatFileError
 from repro.flatfile.files import coalesce_ranges
 from repro.flatfile.parser import ParseStats, parse_fields, parse_single
 from repro.flatfile.positions import PositionalMap
-from repro.flatfile.schema import ColumnSchema, DataType, TableSchema
-from repro.flatfile.tokenizer import TokenizerStats, gather_fields, tokenize_columns
+from repro.flatfile.schema import WIDENS_TO, ColumnSchema, DataType, TableSchema
+from repro.flatfile.tokenizer import (
+    RawPredicate,
+    TokenizerStats,
+    gather_fields,
+    tokenize_columns,
+)
 from repro.ranges import Condition
 from repro.storage.catalog import TableEntry
 
@@ -59,17 +69,16 @@ class PassResult:
     row_ids: np.ndarray  # global row ids the values correspond to
     tokenizer: TokenizerStats = field(default_factory=TokenizerStats)
     parse: ParseStats = field(default_factory=ParseStats)
+    partitions: int = 0  # row-range partitions scanned in parallel (0 = serial)
 
     @property
     def is_full_rows(self) -> bool:
         return len(self.row_ids) == self.nrows
 
 
-#: Widening ladder for values the inferred type cannot represent.
-_WIDER: dict[DataType, DataType] = {
-    DataType.INT64: DataType.FLOAT64,
-    DataType.FLOAT64: DataType.STRING,
-}
+#: Widening ladder for values the inferred type cannot represent (shared
+#: with the pushdown predicates and the parallel partition workers).
+_WIDER: dict[DataType, DataType] = WIDENS_TO
 
 
 def _widen_column(entry: TableEntry, idx: int, to_dtype: DataType) -> None:
@@ -113,20 +122,69 @@ def parse_column_with_widening(
             _widen_column(entry, idx, wider)
 
 
+def make_widening_predicate(
+    column_name: str,
+    interval,
+    get_dtype,
+    widen,
+    parse_stats: ParseStats,
+) -> RawPredicate:
+    """Build one raw-text pushdown predicate over the widening ladder.
+
+    The single source of truth for predicate semantics, shared by the
+    serial loader and the parallel partition workers (which must stay
+    behaviourally identical): each evaluation parses the field under the
+    current type (counted in ``parse_stats`` — conversions are real
+    work), a value the type cannot represent calls ``widen`` with the
+    next ladder step and retries (terminates: str parsing cannot fail),
+    and failures surface as :class:`~repro.errors.FlatFileError` — a
+    typed error in the library's one family, never a raw ``ValueError``
+    or ``TypeError``.  ``get_dtype``/``widen`` abstract where the column
+    type lives: the real schema serially, partition-local state in a
+    worker.
+    """
+
+    def parse_counted(text: str) -> object:
+        while True:
+            dtype = get_dtype()
+            parse_stats.values_parsed += 1
+            try:
+                return parse_single(text, dtype)
+            except ValueError as exc:
+                wider = _WIDER.get(dtype)
+                if wider is None:
+                    raise FlatFileError(
+                        f"cannot parse field {text!r} of column "
+                        f"{column_name!r} as {dtype.value} "
+                        "for a pushdown predicate"
+                    ) from exc
+                widen(wider)
+
+    raw_check = interval.raw_predicate(parse_counted)
+
+    def checked(text: str) -> bool:
+        try:
+            return raw_check(text)
+        except TypeError as exc:
+            # e.g. a str-widened field compared against numeric bounds.
+            raise FlatFileError(
+                f"cannot compare field {text!r} of column "
+                f"{column_name!r} for a pushdown predicate"
+            ) from exc
+
+    return checked
+
+
 def _pushdown_predicates(
     entry: TableEntry,
     condition: Condition | None,
     config: EngineConfig,
     parse_stats: ParseStats,
-) -> dict[int, object]:
+) -> dict[int, RawPredicate]:
     """Build raw-text predicates for the tokenizer from a range condition.
 
-    Each predicate parses its field to compare it, and that conversion is
-    real work the loading operator performs, so it is counted in
-    ``parse_stats`` like any other parse.  An int field that turns out to
-    hold a float widens the column and is retried; a field that is not
-    numeric at all raises :class:`~repro.errors.FlatFileError` — a typed
-    error in the library's one family, never a raw ``ValueError``.
+    See :func:`make_widening_predicate` for the per-predicate semantics;
+    here each predicate reads and widens the *real* schema in place.
     """
     if condition is None or not config.predicate_pushdown:
         return {}
@@ -134,39 +192,13 @@ def _pushdown_predicates(
     predicates = {}
     for col, interval in condition.items:
         idx = schema.index_of(col)
-
-        def parse_counted(text: str, _idx=idx) -> object:
-            # Walks the same widening ladder as parse_column_with_widening
-            # (one source of truth: _WIDER); the loop terminates because
-            # str parsing cannot fail.
-            while True:
-                dtype = schema.columns[_idx].dtype
-                parse_stats.values_parsed += 1
-                try:
-                    return parse_single(text, dtype)
-                except ValueError as exc:
-                    wider = _WIDER.get(dtype)
-                    if wider is None:
-                        raise FlatFileError(
-                            f"cannot parse field {text!r} of column "
-                            f"{schema.columns[_idx].name!r} as {dtype.value} "
-                            "for a pushdown predicate"
-                        ) from exc
-                    _widen_column(entry, _idx, wider)
-
-        raw_check = interval.raw_predicate(parse_counted)
-
-        def checked(text: str, _raw=raw_check, _idx=idx) -> bool:
-            try:
-                return _raw(text)
-            except TypeError as exc:
-                # e.g. a str-widened field compared against numeric bounds.
-                raise FlatFileError(
-                    f"cannot compare field {text!r} of column "
-                    f"{schema.columns[_idx].name!r} for a pushdown predicate"
-                ) from exc
-
-        predicates[idx] = checked
+        predicates[idx] = make_widening_predicate(
+            schema.columns[idx].name,
+            interval,
+            get_dtype=lambda _idx=idx: schema.columns[_idx].dtype,
+            widen=lambda wider, _idx=idx: _widen_column(entry, _idx, wider),
+            parse_stats=parse_stats,
+        )
     return predicates
 
 
@@ -196,33 +228,57 @@ def run_pass(
         Tokenize all columns of every row regardless of need (the external
         -table behaviour, and the early-abort ablation).
     """
+    from repro.core.partitions import parallel_pass, partitions_for
+
     schema = entry.ensure_schema()
     skip = 1 if entry.has_header else 0
     needed_idx = _needed_indices(schema, needed) if needed else [0]
     parse_stats = ParseStats()
+    pushdown = (
+        not tokenize_everything
+        and not parse_all_rows
+        and condition is not None
+        and config.predicate_pushdown
+    )
     if tokenize_everything:
         tokenize_idx = list(range(len(schema)))
-        predicates = {}
         early_abort = False
     else:
         tokenize_idx = needed_idx
-        predicates = (
-            {}
-            if parse_all_rows
-            else _pushdown_predicates(entry, condition, config, parse_stats)
-        )
         early_abort = config.tokenizer_early_abort
+    pushdown_items = list(condition.items) if pushdown else []
+    pred_idx = [schema.index_of(c) for c, _ in pushdown_items]
     pmap = entry.positional_map if config.use_positional_map else None
-    want_cols = sorted(set(tokenize_idx) | set(predicates))
+    want_cols = sorted(set(tokenize_idx) | set(pred_idx))
     if (
         not tokenize_everything
         and config.selective_reads
         and pmap is not None
         and _selective_worthwhile(entry, pmap, want_cols, config)
     ):
+        predicates = _pushdown_predicates(
+            entry, condition if pushdown else None, config, parse_stats
+        )
         return _selective_pass(
             entry, schema, needed, predicates, pmap, config, parse_stats
         )
+    pindex = partitions_for(entry, config)
+    if pindex is not None:
+        result = parallel_pass(
+            entry,
+            schema,
+            needed,
+            pushdown_items,
+            config,
+            pindex,
+            tokenize_cols=want_cols,
+            early_abort=early_abort,
+        )
+        if result is not None:  # None: pool failed to start -> serial
+            return result
+    predicates = _pushdown_predicates(
+        entry, condition if pushdown else None, config, parse_stats
+    )
     text = entry.file.read_all()
     if pmap is not None:
         pmap.record_text_geometry(
@@ -302,7 +358,10 @@ def _gather_column(
     starts = starts[rows]
     ends = ends[rows]
     windows = entry.file.read_windows(
-        starts, ends, max_gap=config.selective_read_max_gap
+        starts,
+        ends,
+        max_gap=config.selective_read_max_gap,
+        workers=config.resolved_parallel_workers(),
     )
     stats.chars_scanned += windows.total_bytes
     stats.fields_tokenized += len(rows)
@@ -315,7 +374,7 @@ def _selective_pass(
     entry: TableEntry,
     schema: TableSchema,
     needed: list[str],
-    predicates: dict[int, object],
+    predicates: dict[int, RawPredicate],
     pmap: PositionalMap,
     config: EngineConfig,
     parse_stats: ParseStats,
@@ -354,7 +413,10 @@ def _selective_pass(
             [pmap.slices_for(c)[1][candidates] for c in remaining]
         )
         windows = entry.file.read_windows(
-            all_starts, all_ends, max_gap=config.selective_read_max_gap
+            all_starts,
+            all_ends,
+            max_gap=config.selective_read_max_gap,
+            workers=config.resolved_parallel_workers(),
         )
         stats.chars_scanned += windows.total_bytes
         for col in remaining:

@@ -40,7 +40,6 @@ from repro.core.loader import (
 from repro.core.splitfile import SplitFileCatalog
 from repro.core.statistics import QueryStats
 from repro.errors import ExecutionError
-from repro.flatfile.parser import parse_fields
 from repro.ranges import Condition
 from repro.storage.binarystore import BinaryStore
 from repro.storage.catalog import TableEntry
@@ -96,6 +95,9 @@ class LoadingPolicy:
         ctx.qstats.tokenizer.merge(result.tokenizer)
         ctx.qstats.parse.merge(result.parse)
         ctx.qstats.went_to_file = True
+        ctx.qstats.parallel_partitions = max(
+            ctx.qstats.parallel_partitions, result.partitions
+        )
 
     @staticmethod
     def _store_full_columns(

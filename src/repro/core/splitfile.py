@@ -153,7 +153,7 @@ class SplitFileCatalog:
             written += 1
             self.homes[gcol] = ColumnHome("single", FlatFile(single_path), 0)
         # Write the non-tokenized tail columns into one new remainder.
-        tail_locals = [l for l in range(width) if l > max_needed_local]
+        tail_locals = [loc for loc in range(width) if loc > max_needed_local]
         if tail_locals:
             tail_path = self.directory / f"{self.table_key}_rem{self._counter}.txt"
             self._counter += 1
@@ -182,7 +182,6 @@ class SplitFileCatalog:
         starts, ends = _row_bounds(text)
         starts = starts[home.skip_rows :]
         ends = ends[home.skip_rows :]
-        last_local = max(result.fields)
         # Tail begins after the last tokenized field + its delimiter.  The
         # tokenized fields of row i have known total length: sum of field
         # lengths + one delimiter each.

@@ -36,6 +36,8 @@ class QueryStats:
     went_to_file: bool = False
     split_files_written: int = 0
     result_rows: int = 0
+    #: Row-range partitions scanned by the parallel loader (0 = serial).
+    parallel_partitions: int = 0
 
     def summary(self) -> str:
         src = "store" if self.served_from_store else "file"

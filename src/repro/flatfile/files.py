@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -156,13 +157,26 @@ class FlatFile:
     def fingerprint(self) -> FileFingerprint:
         return FileFingerprint.of(self.path)
 
-    def _account(self, nbytes: int, full_scan: bool) -> None:
+    def _account(self, nbytes: int, full_scan: bool, calls: int = 1) -> None:
         self.stats.bytes_read += nbytes
-        self.stats.read_calls += 1
+        self.stats.read_calls += calls
         if full_scan:
             self.stats.full_scans += 1
         if self.bandwidth_bytes_per_sec:
             time.sleep(nbytes / self.bandwidth_bytes_per_sec)
+
+    def account_reads(
+        self, nbytes: int, *, calls: int = 1, full_scan: bool = False
+    ) -> None:
+        """Account bytes read *outside* this handle (partition workers).
+
+        The parallel partitioned scan reads byte ranges of this file in
+        worker processes, whose I/O the parent-side counters never see.
+        The merge step reports the totals here so accounting (and the
+        simulated-bandwidth throttle, which models one shared disk) stays
+        identical to the serial path.
+        """
+        self._account(nbytes, full_scan, calls=calls)
 
     def read_all(self) -> str:
         """Read and return the entire file as text (one full scan)."""
@@ -181,7 +195,11 @@ class FlatFile:
         return data.decode("utf-8")
 
     def read_windows(
-        self, starts: np.ndarray, ends: np.ndarray, max_gap: int = 0
+        self,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        max_gap: int = 0,
+        workers: int = 1,
     ) -> FileWindows:
         """Read many byte ranges in batched, coalesced window reads.
 
@@ -189,14 +207,18 @@ class FlatFile:
         byte ranges; ranges closer than ``max_gap`` are merged into one
         seek+read (see :func:`coalesce_ranges`).  Only the coalesced
         windows are read and accounted — never the whole file.
+
+        With ``workers > 1`` the coalesced windows are split into
+        contiguous runs read concurrently by a thread pool (each thread on
+        its own file handle).  ``read()`` releases the GIL, so warm
+        selective passes with many scattered windows overlap their seeks;
+        the returned buffer is byte-identical to the serial read.
         """
         win_starts, win_ends = coalesce_ranges(starts, ends, max_gap)
-        chunks: list[bytes] = []
         if len(win_starts):
-            with open(self.path, "rb") as f:
-                for s, e in zip(win_starts.tolist(), win_ends.tolist()):
-                    f.seek(s)
-                    chunks.append(f.read(e - s))
+            chunks = self._read_window_list(win_starts, win_ends, workers)
+        else:
+            chunks = []
         sizes = np.asarray([len(c) for c in chunks], dtype=np.int64)
         offsets = np.zeros(len(chunks), dtype=np.int64)
         if len(chunks):
@@ -209,6 +231,32 @@ class FlatFile:
             offsets=offsets,
             buffer=b"".join(chunks),
         )
+
+    #: Below this many windows per thread, pool overhead beats overlap.
+    _MIN_WINDOWS_PER_THREAD = 8
+
+    def _read_window_list(
+        self, win_starts: np.ndarray, win_ends: np.ndarray, workers: int
+    ) -> list[bytes]:
+        """Read the coalesced windows, serially or via a thread pool."""
+        pairs = list(zip(win_starts.tolist(), win_ends.tolist()))
+
+        def read_run(run: list[tuple[int, int]]) -> list[bytes]:
+            with open(self.path, "rb") as f:
+                got = []
+                for s, e in run:
+                    f.seek(s)
+                    got.append(f.read(e - s))
+                return got
+
+        nthreads = min(workers, len(pairs) // self._MIN_WINDOWS_PER_THREAD)
+        if nthreads <= 1:
+            return read_run(pairs)
+        per = (len(pairs) + nthreads - 1) // nthreads
+        runs = [pairs[i : i + per] for i in range(0, len(pairs), per)]
+        with ThreadPoolExecutor(max_workers=len(runs)) as pool:
+            results = list(pool.map(read_run, runs))
+        return [chunk for run in results for chunk in run]
 
     # --------------------------------------------------------------- lines
 

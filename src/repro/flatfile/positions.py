@@ -152,6 +152,56 @@ class PositionalMap:
         self.field_ends.clear()
         self.text_geometry = None
 
+    def absorb_partitions(
+        self, parts: list["PositionalMap"], char_bases: list[int]
+    ) -> None:
+        """Merge per-partition maps (partition-relative offsets) into self.
+
+        ``parts[i]`` was learned over partition ``i`` of the file in
+        isolation, so its offsets are relative to the partition's first
+        character; ``char_bases[i]`` is that partition's character offset
+        in the full decoded text.  Merging shifts and concatenates, with
+        the same first-writer-wins semantics as serial learning:
+
+        * row offsets merge only when every partition learned its rows;
+        * a column's field slices merge only when *every* partition knows
+          them completely (``can_slice``), mirroring the serial rule that
+          offsets are recorded only when learned for all rows;
+        * text geometry is the sum of the partitions' byte/char sizes —
+          partitions tile the file, so the sums equal a full scan's view.
+        """
+        if len(parts) != len(char_bases):
+            raise ValueError(
+                f"{len(parts)} partition maps but {len(char_bases)} bases"
+            )
+        if not parts:
+            return
+        if all(p.row_offsets is not None for p in parts):
+            self.record_row_offsets(
+                np.concatenate(
+                    [p.row_offsets + base for p, base in zip(parts, char_bases)]
+                )
+            )
+        shared = set(parts[0].field_offsets)
+        for p in parts[1:]:
+            shared &= set(p.field_offsets)
+        for col in sorted(shared):
+            if not all(p.can_slice(col) for p in parts):
+                continue
+            starts = np.concatenate(
+                [p.field_offsets[col] + base for p, base in zip(parts, char_bases)]
+            )
+            ends = np.concatenate(
+                [p.field_ends[col] + base for p, base in zip(parts, char_bases)]
+            )
+            self.record_field_offsets(col, starts, ends)
+        geometries = [p.text_geometry for p in parts]
+        if all(g is not None for g in geometries):
+            self.record_text_geometry(
+                nbytes=sum(g[0] for g in geometries),
+                nchars=sum(g[1] for g in geometries),
+            )
+
     def memory_bytes(self) -> int:
         """Approximate resident size of the map, for budget accounting."""
         total = 0

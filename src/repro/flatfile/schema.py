@@ -39,6 +39,29 @@ class DataType(enum.Enum):
         return self in (DataType.INT64, DataType.FLOAT64)
 
 
+#: The widening ladder for values an inferred type cannot represent:
+#: int64 → float64 → str.  Shared by the serial loader, the pushdown
+#: predicates and the parallel partition workers so every code path walks
+#: the same ladder and partitioned scans converge on the same final type.
+WIDENS_TO: dict[DataType, DataType] = {
+    DataType.INT64: DataType.FLOAT64,
+    DataType.FLOAT64: DataType.STRING,
+}
+
+#: Rank of each type on the ladder (higher = wider); lets mergers of
+#: independently-widened partition schemas pick the widest outcome.
+WIDTH_RANK: dict[DataType, int] = {
+    DataType.INT64: 0,
+    DataType.FLOAT64: 1,
+    DataType.STRING: 2,
+}
+
+
+def widest(dtypes) -> DataType:
+    """The widest of the given types under the widening ladder."""
+    return max(dtypes, key=WIDTH_RANK.__getitem__)
+
+
 @dataclass(frozen=True)
 class ColumnSchema:
     """Name and type of one attribute of a flat-file table."""

@@ -303,8 +303,8 @@ def gather_fields(
         return [""] * n
     if maxlen > _GATHER_MAX_FIELD:
         return [
-            buffer[s : s + l].decode("utf-8")
-            for s, l in zip(starts.tolist(), lengths.tolist())
+            buffer[s : s + n].decode("utf-8")
+            for s, n in zip(starts.tolist(), lengths.tolist())
         ]
     buf = np.frombuffer(buffer, dtype=np.uint8)
     if len(buf) == 0:
@@ -324,8 +324,8 @@ def gather_fields(
         return decoded.tolist()
     out = decoded.tolist()
     for i in bad.tolist():
-        s, l = int(starts[i]), int(lengths[i])
-        out[i] = buffer[s : s + l].decode("utf-8")
+        s, length = int(starts[i]), int(lengths[i])
+        out[i] = buffer[s : s + length].decode("utf-8")
     return out
 
 

@@ -11,8 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.errors import CatalogError
+
+if TYPE_CHECKING:  # import would be circular at runtime (core -> storage)
+    from repro.core.partitions import PartitionIndex
 from repro.flatfile.files import FileFingerprint, FlatFile
 from repro.flatfile.positions import PositionalMap
 from repro.flatfile.schema import TableSchema, infer_schema, looks_like_header
@@ -29,6 +33,9 @@ class TableEntry:
     has_header: bool = False
     table: Table | None = None
     positional_map: PositionalMap = field(default_factory=PositionalMap)
+    #: Cached newline-aligned row-range partitioning (parallel scans);
+    #: derived state like the positional map, invalidated with it.
+    partitions: "PartitionIndex | None" = None
     loaded_fingerprint: FileFingerprint | None = None
 
     # -------------------------------------------------------------- schema
@@ -75,6 +82,7 @@ class TableEntry:
             self.table.drop_all()
         self.table = None
         self.positional_map.clear()
+        self.partitions = None
         self.loaded_fingerprint = None
         self.schema = None
 

@@ -1,0 +1,52 @@
+"""CLI flags for the partitioned parallel scan."""
+
+from __future__ import annotations
+
+import io
+
+from repro.cli import main
+
+
+def run_cli(*argv, stdin_text=""):
+    stdin = io.StringIO(stdin_text)
+    stdout = io.StringIO()
+    stderr = io.StringIO()
+    code = main(list(argv), stdin=stdin, stdout=stdout, stderr=stderr)
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+def test_parallel_workers_flag(small_csv):
+    code, out, err = run_cli(
+        "--parallel-workers", "4",
+        "--partition-min-bytes", "1",
+        "--stats",
+        "select count(*) from t",
+        str(small_csv),
+    )
+    assert code == 0, err
+    assert "500" in out
+    assert "parallel partitions" in out
+
+
+def test_serial_default_hides_partition_stat(small_csv):
+    code, out, err = run_cli("--stats", "select count(*) from t", str(small_csv))
+    assert code == 0, err
+    assert "parallel partitions" not in out
+
+
+def test_parallel_answer_matches_serial(small_csv):
+    sql = "select sum(a1), count(*) from t where a1 > 100 and a1 < 400"
+    _, serial_out, _ = run_cli(sql, str(small_csv))
+    code, parallel_out, err = run_cli(
+        "--parallel-workers", "2", "--partition-min-bytes", "1", sql, str(small_csv)
+    )
+    assert code == 0, err
+    assert parallel_out == serial_out
+
+
+def test_invalid_workers_is_a_clean_error(small_csv):
+    code, _, err = run_cli(
+        "--parallel-workers", "-2", "select count(*) from t", str(small_csv)
+    )
+    assert code == 1
+    assert "parallel_workers" in err
