@@ -89,6 +89,8 @@ class AwkEngine:
     join_strategy: str = "hash"  # 'hash' | 'merge'
 
     def attach(self, name: str, path: Path | str, delimiter: str = ",") -> None:
+        # Plain delimited only: this baseline shells out to awk with
+        # FS=<delimiter>, which has no notion of the adapter dialects.
         self.tables[name.lower()] = _ScriptTable(
             name, FlatFile(Path(path), delimiter=delimiter)
         )

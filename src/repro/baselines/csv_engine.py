@@ -33,8 +33,28 @@ class CSVEngine:
             )
         )
 
-    def attach(self, name: str, path: Path | str, delimiter: str = ",") -> None:
-        self._engine.attach(name, path, delimiter=delimiter)
+    def attach(
+        self,
+        name: str,
+        path: Path | str,
+        delimiter: str = ",",
+        format: str | None = None,
+        fixed_widths: tuple[int, ...] | None = None,
+    ) -> None:
+        """Attach a file in any supported dialect (shared substrate).
+
+        Because the external policy re-reads and re-tokenizes everything
+        on every query, this engine doubles as the *oracle* of the
+        differential format tests: whatever dialect adapters decode, it
+        decodes the slow, obviously-correct way.
+        """
+        self._engine.attach(
+            name,
+            path,
+            delimiter=delimiter,
+            format=format,
+            fixed_widths=fixed_widths,
+        )
 
     def query(self, sql: str) -> QueryResult:
         return self._engine.query(sql)

@@ -28,6 +28,7 @@ from repro.config import POLICIES, EngineConfig
 from repro.core.autotuner import AutoTuningEngine
 from repro.core.engine import NoDBEngine
 from repro.errors import ReproError
+from repro.flatfile.dialects import FORMATS
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -54,6 +55,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--delimiter", default=",", help="field delimiter (default: ',')"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("auto",) + FORMATS,
+        default="csv",
+        help="file dialect; 'auto' sniffs it from the file head and "
+        "errors (naming --format/--delimiter) when ambiguous "
+        "(default: csv)",
+    )
+    parser.add_argument(
+        "--fixed-widths",
+        default=None,
+        metavar="W1,W2,...",
+        help="comma-separated field widths for --format fixed-width",
     )
     parser.add_argument(
         "--parallel-workers",
@@ -165,9 +180,29 @@ def main(argv: list[str] | None = None, stdin=None, stdout=None, stderr=None) ->
         engine = NoDBEngine(config)
         raw_engine = engine
 
+    fixed_widths: tuple[int, ...] | None = None
+    if args.fixed_widths is not None:
+        try:
+            fixed_widths = tuple(
+                int(w) for w in args.fixed_widths.split(",") if w.strip()
+            )
+        except ValueError:
+            print(
+                f"error: --fixed-widths must be comma-separated integers, "
+                f"got {args.fixed_widths!r}",
+                file=stderr,
+            )
+            return 1
+    fmt = None if args.format == "csv" else args.format
     try:
         for name, path in zip(table_names(files), files):
-            raw_engine.attach(name, path, delimiter=args.delimiter)
+            raw_engine.attach(
+                name,
+                path,
+                delimiter=args.delimiter,
+                format=fmt,
+                fixed_widths=fixed_widths,
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=stderr)
         return 1

@@ -63,8 +63,21 @@ class AutoTuningEngine:
 
     # ------------------------------------------------------------- facade
 
-    def attach(self, name: str, path: Path | str, delimiter: str = ",") -> None:
-        self.engine.attach(name, path, delimiter=delimiter)
+    def attach(
+        self,
+        name: str,
+        path: Path | str,
+        delimiter: str = ",",
+        format: str | None = None,
+        fixed_widths: tuple[int, ...] | None = None,
+    ) -> None:
+        self.engine.attach(
+            name,
+            path,
+            delimiter=delimiter,
+            format=format,
+            fixed_widths=fixed_widths,
+        )
 
     @property
     def policy(self) -> str:

@@ -44,6 +44,8 @@ class NoDBEngine:
         self.config = config or EngineConfig()
         self.catalog = Catalog()
         self.policy = make_policy(self.config.policy)
+        #: Stand-in for splitfiles on dialects that cannot be cracked.
+        self._splitfile_fallback = make_policy("column_loads")
         self.memory = MemoryManager(
             budget_bytes=self.config.memory_budget_bytes,
             policy=self.config.eviction_policy,
@@ -68,13 +70,28 @@ class NoDBEngine:
 
     # ----------------------------------------------------------- attaching
 
-    def attach(self, name: str, path: Path | str, delimiter: str = ",") -> None:
-        """Link a raw file as a queryable table.  No data is read."""
+    def attach(
+        self,
+        name: str,
+        path: Path | str,
+        delimiter: str = ",",
+        format: str | None = None,
+        fixed_widths: tuple[int, ...] | None = None,
+    ) -> None:
+        """Link a raw file as a queryable table.  No data is read.
+
+        ``format`` picks the file's dialect: ``None``/``"csv"`` (plain
+        delimited), ``"quoted-csv"``, ``"tsv"``, ``"jsonl"``,
+        ``"fixed-width"`` (needs ``fixed_widths``), or ``"auto"`` to
+        sniff lazily on first use.
+        """
         self.catalog.attach(
             name,
             path,
             delimiter=delimiter,
             bandwidth_bytes_per_sec=self.config.io_bandwidth_bytes_per_sec,
+            format=format,
+            fixed_widths=fixed_widths,
         )
 
     def detach(self, name: str) -> None:
@@ -236,6 +253,14 @@ class NoDBEngine:
                 schema = entry.ensure_schema()
                 for name in needed:
                     self.memory.pin((entry.table.name, schema.column(name).name))
+            # Split files re-slice raw rows with delimiter arithmetic,
+            # which only the plain delimited dialect supports; for other
+            # dialects the splitfiles policy degrades to column loads on
+            # that table (same results, no cracking).
+            splittable = entry.file.adapter.supports_find_jump
+            policy = self.policy
+            if self.config.policy == "splitfiles" and not splittable:
+                policy = self._splitfile_fallback
             ctx = LoadContext(
                 entry=entry,
                 needed=needed,
@@ -244,11 +269,11 @@ class NoDBEngine:
                 memory=self.memory,
                 qstats=qstats,
                 split=self._split_catalog(entry)
-                if self.config.policy == "splitfiles"
+                if self.config.policy == "splitfiles" and splittable
                 else None,
                 binary=self.binary_store,
             )
-            views[binding] = self.policy.provide(ctx)
+            views[binding] = policy.provide(ctx)
         self.memory.release_pins()
         return views
 

@@ -54,7 +54,7 @@ from repro.flatfile.tokenizer import (
     RawPredicate,
     TokenizerStats,
     gather_fields,
-    tokenize_columns,
+    tokenize_dialect,
 )
 from repro.ranges import Condition
 from repro.storage.catalog import TableEntry
@@ -284,11 +284,11 @@ def run_pass(
         pmap.record_text_geometry(
             nbytes=entry.file.size_bytes(), nchars=len(text)
         )
-    result = tokenize_columns(
+    result = tokenize_dialect(
         text,
+        entry.file.adapter,
         ncols=len(schema),
         needed=want_cols,
-        delimiter=entry.file.delimiter,
         early_abort=early_abort,
         predicates=predicates,
         positional_map=pmap,
@@ -365,9 +365,12 @@ def _gather_column(
     )
     stats.chars_scanned += windows.total_bytes
     stats.fields_tokenized += len(rows)
-    return gather_fields(
+    raw = gather_fields(
         windows.buffer, windows.translate(starts), ends - starts
     )
+    # Spans cover the *encoded* field text; non-identity dialects (quoted
+    # CSV, TSV escapes, fixed-width padding) decode to the logical value.
+    return entry.file.adapter.decode_many(raw)
 
 
 def _selective_pass(
@@ -423,8 +426,10 @@ def _selective_pass(
             starts, ends = pmap.slices_for(col)
             starts = starts[candidates]
             ends = ends[candidates]
-            gathered[col] = gather_fields(
-                windows.buffer, windows.translate(starts), ends - starts
+            gathered[col] = entry.file.adapter.decode_many(
+                gather_fields(
+                    windows.buffer, windows.translate(starts), ends - starts
+                )
             )
             gathered_rows[col] = candidates
             stats.fields_tokenized += len(candidates)

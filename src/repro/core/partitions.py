@@ -54,13 +54,14 @@ from repro.core.loader import (
     parse_column_with_widening,
 )
 from repro.errors import FlatFileError
+from repro.flatfile.dialects import FormatAdapter
 from repro.flatfile.parser import ParseStats, parse_fields
 from repro.flatfile.positions import PositionalMap
 from repro.flatfile.schema import WIDENS_TO, DataType, TableSchema, widest
 from repro.flatfile.tokenizer import (
     TokenizerStats,
     gather_fields,
-    tokenize_columns,
+    tokenize_dialect,
 )
 from repro.ranges import ValueInterval
 from repro.storage.catalog import TableEntry
@@ -187,6 +188,10 @@ def partitions_for(entry: TableEntry, config: EngineConfig) -> PartitionIndex | 
     workers = config.resolved_parallel_workers()
     if workers <= 1:
         return None
+    if not entry.file.adapter.supports_partitioning:
+        # Records may span raw newline bytes (quoted CSV): no byte
+        # boundary is provably row-aligned, so the scan stays serial.
+        return None
     size = entry.file.size_bytes()
     nparts = min(workers, size // config.partition_min_bytes)
     if nparts < 2:
@@ -228,7 +233,7 @@ class ScanTask:
     """Everything one worker needs to scan one partition (all picklable)."""
 
     path: str
-    delimiter: str
+    adapter: FormatAdapter
     byte_start: int
     byte_end: int
     skip_rows: int
@@ -310,11 +315,11 @@ def scan_partition(task: ScanTask) -> ScanResult:
         spec.col: _predicate_from_spec(spec, parse_stats, widened)
         for spec in task.predicates
     }
-    result = tokenize_columns(
+    result = tokenize_dialect(
         text,
+        task.adapter,
         ncols=task.ncols,
         needed=list(task.tokenize_cols),
-        delimiter=task.delimiter,
         early_abort=task.early_abort,
         predicates=predicates,
         positional_map=local_map,
@@ -484,7 +489,7 @@ def parallel_pass(
     tasks = [
         ScanTask(
             path=str(entry.file.path),
-            delimiter=entry.file.delimiter,
+            adapter=entry.file.adapter,
             byte_start=p.byte_start,
             byte_end=p.byte_end,
             skip_rows=p.skip_rows,
@@ -568,6 +573,26 @@ def _merge_results(
             # (formatting was lost in parsing); rebuild the column from
             # the file via the merged field slices.  Rare — it needs a
             # column that is numeric in some partitions and not others.
+            if not all(r.learned.can_slice(idx) for r in results):
+                # Span-less dialect (JSON-lines): no field slices exist;
+                # re-tokenize just this column from the full text.
+                if full_text is None:
+                    full_text = entry.file.read_all()
+                res = tokenize_dialect(
+                    full_text,
+                    entry.file.adapter,
+                    ncols=len(schema),
+                    needed=[idx],
+                    early_abort=True,
+                    learn=False,
+                    skip_rows=1 if entry.has_header else 0,
+                )
+                tok_stats.merge(res.stats)
+                columns[schema.columns[idx].name] = parse_fields(
+                    res.fields[idx], DataType.STRING, parse_stats
+                )
+                _widen_column(entry, idx, target)
+                continue
             starts = np.concatenate(
                 [
                     r.learned.field_offsets[idx] + base
@@ -600,6 +625,8 @@ def _merge_results(
                     full_text[s:e]
                     for s, e in zip(starts.tolist(), ends.tolist())
                 ]
+            # Spans hold *encoded* field text; undo dialect encoding.
+            raw = entry.file.adapter.decode_many(raw)
             merged = parse_fields(raw, DataType.STRING, parse_stats)
         else:
             merged = np.concatenate(

@@ -177,9 +177,9 @@ class SplitFileCatalog:
         recompute tail starts from the recorded field texts, which keeps
         this function independent of tokenizer internals.
         """
-        from repro.flatfile.tokenizer import _row_bounds  # shared row scan
+        from repro.flatfile.dialects import newline_row_bounds  # shared row scan
 
-        starts, ends = _row_bounds(text)
+        starts, ends = newline_row_bounds(text)
         starts = starts[home.skip_rows :]
         ends = ends[home.skip_rows :]
         # Tail begins after the last tokenized field + its delimiter.  The

@@ -40,6 +40,16 @@ class SchemaInferenceError(FlatFileError):
     """The schema of a flat file could not be inferred."""
 
 
+class FormatDetectionError(FlatFileError):
+    """The dialect sniffer could not pick a format for a flat file.
+
+    Raised for empty files and for samples where the evidence is
+    ambiguous (several delimiters split every line consistently).  The
+    message always names the explicit fallback: pass ``--format`` /
+    ``--delimiter`` (or ``attach(..., format=...)``) instead of sniffing.
+    """
+
+
 class StaleFileError(FlatFileError):
     """The flat file was edited after data was loaded from it.
 

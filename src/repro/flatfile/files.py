@@ -24,6 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import FlatFileError
+from repro.flatfile.dialects import FormatAdapter, make_adapter, sniff_format
 
 
 def coalesce_ranges(
@@ -132,22 +133,83 @@ class FlatFile:
     path:
         Location of the file on disk.
     delimiter:
-        Field separator; the paper uses CSV so the default is ``","``.
+        Field separator for delimited formats; the paper uses CSV so the
+        default is ``","``.
     bandwidth_bytes_per_sec:
         Optional simulated read bandwidth (see module docstring).
+    format:
+        Dialect selection: ``None``/``"csv"`` for the plain delimited
+        substrate, one of :data:`repro.flatfile.dialects.FORMATS`, a
+        ready :class:`~repro.flatfile.dialects.FormatAdapter` instance,
+        or ``"auto"`` to sniff the dialect lazily from a bounded sample
+        on first use (attach stays I/O-free).
+    fixed_widths:
+        Field widths for ``format="fixed-width"``.
     """
 
     path: Path
     delimiter: str = ","
     bandwidth_bytes_per_sec: float | None = None
     stats: IOStats = field(default_factory=IOStats)
+    format: "str | FormatAdapter | None" = None
+    fixed_widths: tuple[int, ...] | None = None
+
+    #: Bytes the lazy dialect sniffer samples from the head of the file.
+    _SNIFF_BYTES = 1 << 16
 
     def __post_init__(self) -> None:
         self.path = Path(self.path)
         if not self.path.exists():
             raise FlatFileError(f"flat file does not exist: {self.path}")
-        if len(self.delimiter) != 1:
-            raise FlatFileError(f"delimiter must be a single character, got {self.delimiter!r}")
+        if isinstance(self.format, FormatAdapter):
+            self._adapter: FormatAdapter | None = self.format
+        else:
+            # "auto" resolves to None here; the property sniffs on demand.
+            self._adapter = make_adapter(
+                self.format, self.delimiter, self.fixed_widths
+            )
+
+    @property
+    def adapter(self) -> FormatAdapter:
+        """The file's dialect adapter, sniffing on first use under "auto"."""
+        if self._adapter is None:
+            self._adapter = sniff_format(
+                self._read_sniff_sample(), source=str(self.path)
+            )
+        return self._adapter
+
+    def reset_format_state(self) -> None:
+        """Drop dialect state derived from file contents (file edited).
+
+        A sniffed adapter is re-sniffed on next use; an explicit adapter
+        keeps its identity but forgets any learned per-file state (e.g.
+        JSON-lines column order).
+        """
+        if self._adapter is not None:
+            if isinstance(self.format, FormatAdapter) or self.format != "auto":
+                self._adapter.reset()
+            else:
+                self._adapter = None
+
+    def _read_head_sample(self) -> tuple[str, bool]:
+        """Bounded decodable text from the file head, + truncation flag.
+
+        A truncated sample is cut at its last newline: ``\\n`` is never
+        part of a UTF-8 multi-byte sequence, so the prefix decodes
+        cleanly.  Shared by the dialect sniffer and the sampling path
+        for dialects whose records may span lines.
+        """
+        with open(self.path, "rb") as f:
+            data = f.read(self._SNIFF_BYTES)
+            truncated = len(data) == self._SNIFF_BYTES and f.read(1) != b""
+        self._account(len(data), full_scan=False)
+        if truncated:
+            cut = data.rfind(b"\n")
+            data = data[: cut + 1] if cut != -1 else b""
+        return data.decode("utf-8"), truncated
+
+    def _read_sniff_sample(self) -> str:
+        return self._read_head_sample()[0]
 
     # ------------------------------------------------------------------ io
 
@@ -264,17 +326,46 @@ class FlatFile:
         """Tokenize up to ``limit`` leading rows for schema inference.
 
         This is a bounded read: schema detection must stay cheap even for
-        huge files, so only the first ``limit`` lines are touched.
+        huge files, so only the leading lines (or, for dialects whose
+        records can span lines, a bounded head sample) are touched.
+        Rows come back as *logical* (decoded) field values.
         """
-        rows: list[list[str]] = []
-        nbytes = 0
-        with open(self.path, "rb") as f:
-            for raw in f:
-                nbytes += len(raw)
-                line = raw.decode("utf-8").rstrip("\r\n")
-                if line:
-                    rows.append(line.split(self.delimiter))
-                if len(rows) >= limit:
-                    break
-        self._account(nbytes, full_scan=False)
+        adapter = self.adapter
+        if adapter.supports_partitioning:
+            # Records are lines: read lazily, stop at ``limit`` rows.
+            rows: list[list[str]] = []
+            nbytes = 0
+            with open(self.path, "rb") as f:
+                for raw in f:
+                    nbytes += len(raw)
+                    line = raw.decode("utf-8").rstrip("\r\n")
+                    if line:
+                        rows.append(adapter.row_values(line))
+                    if len(rows) >= limit:
+                        break
+            self._account(nbytes, full_scan=False)
+            return rows
+        # Records may span lines (quoted CSV): frame a bounded head
+        # sample with the adapter and drop the last record when the
+        # sample was cut — it might end mid-quote.
+        text, truncated = self._read_head_sample()
+        while True:
+            try:
+                starts, ends = adapter.row_bounds(text)
+                break
+            except FlatFileError:
+                # The cut can land inside a quoted field; trim trailing
+                # lines until the sample frames cleanly (bounded: the
+                # sample is at most _SNIFF_BYTES).
+                if not truncated or not text:
+                    raise
+                nl = text.rfind("\n", 0, max(len(text) - 1, 0))
+                text = text[: nl + 1] if nl > 0 else ""
+        if truncated and len(starts):
+            starts, ends = starts[:-1], ends[:-1]
+        rows = []
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            rows.append(adapter.row_values(text[int(s) : int(e)]))
+            if len(rows) >= limit:
+                break
         return rows

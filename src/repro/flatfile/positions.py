@@ -30,6 +30,15 @@ offsets into the decoded text; :meth:`record_text_geometry` remembers
 whether characters and bytes coincide (pure-ASCII files), which is the
 precondition for using the offsets as byte ranges.
 
+Under the dialect layer (:mod:`repro.flatfile.dialects`) a recorded span
+covers the **encoded** field text — for quoted CSV that includes the
+quotes, for TSV the backslash escapes, for fixed-width the padding — and
+always lands on field starts/ends as the dialect frames them.  Gathered
+span text is passed through the adapter's ``decode_many`` before parsing,
+so the selective path returns the same logical values as a full scan.
+Span-less dialects (JSON-lines) record row offsets only, and the
+selective fast path simply never activates for them.
+
 The map is append-only and never trusted blindly: it is invalidated
 together with all other derived state when the source file's fingerprint
 changes (section 5.4).

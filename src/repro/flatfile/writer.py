@@ -1,9 +1,14 @@
-"""Deterministic CSV writing for datasets and split files.
+"""Deterministic flat-file writing for datasets and split files.
 
-The workload generator and the split-file (file cracking) machinery both
-need to materialize columnar data as flat text.  Writing goes through one
-function so the dialect (no quoting, ``\\n`` line endings, UTF-8) is
-guaranteed to match what the tokenizer expects to read back.
+The workload generator, the oracle harness and the split-file (file
+cracking) machinery all need to materialize columnar data as flat text.
+Writing goes through one function so the dialect is guaranteed to match
+what the tokenizer reads back: every row is rendered by a
+:class:`~repro.flatfile.dialects.FormatAdapter`, and a value the dialect
+cannot represent raises :class:`~repro.errors.FlatFileError` instead of
+silently emitting a corrupt row (the plain delimited dialect refuses
+values containing the delimiter or a line break; quoted CSV quotes them;
+TSV escapes them; fixed-width refuses over-wide values).
 """
 
 from __future__ import annotations
@@ -14,6 +19,12 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import FlatFileError
+from repro.flatfile.dialects import (
+    DelimitedAdapter,
+    FormatAdapter,
+    JsonLinesAdapter,
+    make_adapter,
+)
 
 
 def format_value(value) -> str:
@@ -25,16 +36,31 @@ def format_value(value) -> str:
     return str(value)
 
 
+def _resolve_adapter(
+    adapter: FormatAdapter | str | None, delimiter: str
+) -> FormatAdapter:
+    if isinstance(adapter, FormatAdapter):
+        return adapter
+    resolved = make_adapter(adapter, delimiter)
+    if resolved is None:  # "auto" makes no sense when writing
+        raise FlatFileError("cannot write with format='auto'; pick a dialect")
+    return resolved
+
+
 def write_csv(
     path: Path | str,
     columns: Sequence[np.ndarray | Sequence],
     header: Sequence[str] | None = None,
     delimiter: str = ",",
+    adapter: FormatAdapter | str | None = None,
 ) -> Path:
-    """Write columnar data as CSV and return the path.
+    """Write columnar data as flat text and return the path.
 
     ``columns`` is a list of equal-length arrays (column-major input,
     row-major output — the mismatch the whole paper is about).
+    ``adapter`` selects the dialect (an adapter instance or a format
+    name); the default is the plain delimited dialect, which raises
+    :class:`FlatFileError` on values it cannot represent.
     """
     path = Path(path)
     if not columns:
@@ -45,6 +71,7 @@ def write_csv(
             raise FlatFileError(
                 f"column 0 has {nrows} rows but column {i} has {len(col)}"
             )
+    adapter = _resolve_adapter(adapter, delimiter)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8", newline="") as f:
         if header is not None:
@@ -52,18 +79,26 @@ def write_csv(
                 raise FlatFileError(
                     f"header has {len(header)} names for {len(columns)} columns"
                 )
-            f.write(delimiter.join(header) + "\n")
-        all_int = all(
+            if isinstance(adapter, JsonLinesAdapter):
+                # JSON-lines carries names as per-row keys, not a line.
+                adapter.columns = tuple(header)
+            else:
+                f.write(adapter.encode_row(list(header)) + "\n")
+        plain = isinstance(adapter, DelimitedAdapter)
+        all_int = plain and all(
             isinstance(c, np.ndarray) and c.dtype.kind in "iu" for c in columns
         )
         if all_int:
-            # Fast path for the paper's pure-integer tables.
+            # Fast path for the paper's pure-integer tables (digits can
+            # never collide with a delimiter, so no per-value checks).
             cols_txt = [c.astype("U21") for c in columns]
             for row in zip(*cols_txt):
-                f.write(delimiter.join(row) + "\n")
+                f.write(adapter.delimiter.join(row) + "\n")
         else:
             for row in zip(*columns):
-                f.write(delimiter.join(format_value(v) for v in row) + "\n")
+                f.write(
+                    adapter.encode_row([format_value(v) for v in row]) + "\n"
+                )
     return path
 
 
@@ -71,11 +106,13 @@ def write_rows(
     path: Path | str,
     rows: Iterable[Sequence],
     delimiter: str = ",",
+    adapter: FormatAdapter | str | None = None,
 ) -> Path:
-    """Write row-major data as CSV (convenience for tests/baselines)."""
+    """Write row-major data as flat text (convenience for tests/baselines)."""
     path = Path(path)
+    adapter = _resolve_adapter(adapter, delimiter)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8", newline="") as f:
         for row in rows:
-            f.write(delimiter.join(format_value(v) for v in row) + "\n")
+            f.write(adapter.encode_row([format_value(v) for v in row]) + "\n")
     return path

@@ -46,6 +46,13 @@ class TableEntry:
             rows = self.file.sample_rows()
             if not rows:
                 raise CatalogError(f"file {self.file.path} is empty")
+            embedded = self.file.adapter.embedded_header
+            if embedded is not None:
+                # The dialect carries its own column names (JSON-lines
+                # keys): no header *line* exists to skip.
+                self.has_header = False
+                self.schema = infer_schema(rows, header=embedded)
+                return self.schema
             second = rows[1] if len(rows) > 1 else None
             self.has_header = looks_like_header(rows[0], second)
             if self.has_header:
@@ -85,6 +92,7 @@ class TableEntry:
         self.partitions = None
         self.loaded_fingerprint = None
         self.schema = None
+        self.file.reset_format_state()
 
 
 @dataclass
@@ -99,7 +107,16 @@ class Catalog:
         path: Path | str,
         delimiter: str = ",",
         bandwidth_bytes_per_sec: float | None = None,
+        format: str | None = None,
+        fixed_widths: tuple[int, ...] | None = None,
     ) -> TableEntry:
+        """Attach one flat file (still no I/O beyond an existence check).
+
+        ``format`` selects the file's dialect (see
+        :data:`repro.flatfile.dialects.FORMATS`); ``None`` keeps the
+        plain delimited substrate, ``"auto"`` defers to the dialect
+        sniffer on first real use of the file.
+        """
         key = name.lower()
         if key in self.entries:
             raise CatalogError(f"table {name!r} is already attached")
@@ -109,6 +126,8 @@ class Catalog:
                 Path(path),
                 delimiter=delimiter,
                 bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+                format=format,
+                fixed_widths=fixed_widths,
             ),
         )
         self.entries[key] = entry

@@ -35,3 +35,27 @@ def test_constant_cost_profile(csv_engine):
 def test_policy_is_external(csv_engine):
     csv_engine.query("select count(*) from r")
     assert csv_engine.stats.last().policy == "external"
+
+
+class TestDialectPassthrough:
+    """The oracle engine reads every dialect through the shared substrate."""
+
+    def test_attach_format_kwargs(self, tmp_path):
+        p = tmp_path / "d.tsv"
+        p.write_text("1\t5\n2\t6\n")
+        engine = CSVEngine()
+        try:
+            engine.attach("t", p, format="tsv")
+            assert engine.query("select sum(a2) from t").scalar() == 11
+        finally:
+            engine.close()
+
+    def test_fixed_width_kwargs(self, tmp_path):
+        p = tmp_path / "d.txt"
+        p.write_text("1  10 \n2  20 \n")
+        engine = CSVEngine()
+        try:
+            engine.attach("t", p, format="fixed-width", fixed_widths=(3, 3))
+            assert engine.query("select sum(a2) from t").scalar() == 30
+        finally:
+            engine.close()

@@ -106,7 +106,11 @@ def test_committed_baseline_is_valid():
     root = Path(__file__).resolve().parents[2]
     payload = json.loads((root / "BENCH_BASELINE.json").read_text())
     assert 0 < payload["tolerance"] < 1
-    assert set(payload["benches"]) == {"parallel_scan", "selective_read"}
+    assert set(payload["benches"]) == {
+        "dialects",
+        "parallel_scan",
+        "selective_read",
+    }
     for entry in payload["benches"].values():
         assert entry["metrics"], "every baselined bench gates >= 1 metric"
         assert all(v > 0 for v in entry["metrics"].values())

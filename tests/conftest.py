@@ -1,12 +1,25 @@
-"""Shared fixtures: deterministic datasets on disk + engine factories."""
+"""Shared fixtures: deterministic datasets on disk + engine factories.
+
+Also the home of the Hypothesis profiles: CI runs with
+``HYPOTHESIS_PROFILE=ci`` (derandomized, so the property suites are
+deterministic and a red build is reproducible), while local runs keep
+Hypothesis's randomized exploration.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro import EngineConfig, NoDBEngine
 from repro.workload import TableSpec, generate_columns, materialize_csv
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

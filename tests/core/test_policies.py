@@ -206,3 +206,40 @@ class TestSplitFiles:
         b = engine_factory("fullload")
         assert a.query(SQL_A34).approx_equal(b.query(SQL_A34))
         assert a.query(SQL_A12).approx_equal(b.query(SQL_A12))
+
+
+class TestSplitFilesDialectFallback:
+    """Non-plain dialects cannot be cracked; splitfiles must degrade."""
+
+    def test_jsonl_degrades_to_column_loads(self, tmp_path):
+        p = tmp_path / "d.jsonl"
+        p.write_text(
+            '{"a1": 1, "a2": 10}\n{"a1": 2, "a2": 20}\n{"a1": 3, "a2": 30}\n'
+        )
+        engine = NoDBEngine(EngineConfig(policy="splitfiles"))
+        try:
+            engine.attach("r", p, format="jsonl")
+            result = engine.query("select sum(a2) from r where a1 > 1")
+            assert result.scalar() == 50
+            assert engine._splits == {}  # no split catalog was created
+            # the fallback still populates the adaptive store
+            table = engine.catalog.get("r").table
+            assert table is not None and table.columns
+        finally:
+            engine.close()
+
+    def test_quoted_csv_degrades_but_plain_still_cracks(
+        self, tmp_path, engine_factory
+    ):
+        p = tmp_path / "d.csv"
+        p.write_text('1,"a,x"\n2,"b,y"\n')
+        engine = NoDBEngine(EngineConfig(policy="splitfiles"))
+        try:
+            engine.attach("r", p, format="quoted-csv")
+            assert engine.query("select count(*) from r").scalar() == 2
+            assert engine._splits == {}
+        finally:
+            engine.close()
+        plain = engine_factory("splitfiles")
+        plain.query("select sum(a1) from r")
+        assert "r" in plain._splits  # the plain dialect still cracks

@@ -119,6 +119,64 @@ class TestAutoTuning:
         assert code == 0
 
 
+class TestFormats:
+    def test_format_jsonl(self, tmp_path):
+        p = tmp_path / "d.jsonl"
+        p.write_text('{"id": 1, "qty": 10}\n{"id": 2, "qty": 20}\n')
+        code, out, err = run_cli(
+            "--format", "jsonl", "select sum(qty) from t", str(p)
+        )
+        assert code == 0, err
+        assert "30" in out
+
+    def test_format_quoted_csv(self, tmp_path):
+        p = tmp_path / "d.csv"
+        p.write_text('1,"a,b"\n2,"c\nd"\n')
+        code, out, err = run_cli(
+            "--format", "quoted-csv", "select count(*) from t", str(p)
+        )
+        assert code == 0, err
+        assert "2" in out
+
+    def test_format_fixed_width(self, tmp_path):
+        p = tmp_path / "d.txt"
+        p.write_text("1  ab \n22 c  \n")
+        code, out, err = run_cli(
+            "--format", "fixed-width", "--fixed-widths", "3,3",
+            "select sum(a1) from t", str(p),
+        )
+        assert code == 0, err
+        assert "23" in out
+
+    def test_format_auto_sniffs_tsv(self, tmp_path):
+        p = tmp_path / "d.tsv"
+        p.write_text("1\t5\n2\t6\n")
+        code, out, err = run_cli(
+            "--format", "auto", "select sum(a2) from t", str(p)
+        )
+        assert code == 0, err
+        assert "11" in out
+
+    def test_format_auto_ambiguous_names_fallback(self, tmp_path):
+        p = tmp_path / "d.dat"
+        p.write_text("a,b;c\nd,e;f\n")
+        code, _, err = run_cli(
+            "--format", "auto", "select count(*) from t", str(p)
+        )
+        assert code == 1
+        assert "--delimiter" in err and "--format" in err
+
+    def test_bad_fixed_widths_flag(self, tmp_path):
+        p = tmp_path / "d.txt"
+        p.write_text("1  ab \n")
+        code, _, err = run_cli(
+            "--format", "fixed-width", "--fixed-widths", "3,x",
+            "select count(*) from t", str(p),
+        )
+        assert code == 1
+        assert "--fixed-widths" in err
+
+
 def test_table_names():
     from pathlib import Path
 
