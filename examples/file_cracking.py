@@ -28,7 +28,7 @@ ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "60000"))
 
 
 def describe_catalog(engine: NoDBEngine) -> str:
-    split = engine._splits.get("r")
+    split = engine.catalog.get("r").split_catalog
     if split is None:
         return "  (no split state yet)"
     homes = []
@@ -68,7 +68,7 @@ def main() -> None:
             f"split files written: {q.split_files_written}"
         )
         print(describe_catalog(engine))
-        split = engine._splits.get("r")
+        split = engine.catalog.get("r").split_catalog
         if split:
             print(f"  split storage on disk: {split.bytes_on_disk():,} bytes "
                   f"(original: {original_size:,})\n")

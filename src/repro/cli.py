@@ -87,6 +87,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         f"(default: {EngineConfig.partition_min_bytes})",
     )
     parser.add_argument(
+        "--result-cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="cache completed query results (mtime-keyed; invalidated "
+        "when a file changes) and serve repeats instantly "
+        "(--no-result-cache disables; default: off)",
+    )
+    parser.add_argument(
+        "--max-cached-results",
+        type=int,
+        default=EngineConfig.max_cached_results,
+        metavar="N",
+        help="entry cap of the result cache "
+        f"(default: {EngineConfig.max_cached_results})",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print per-query work counters after each result",
@@ -110,7 +126,12 @@ def table_names(files: list[Path]) -> list[str]:
 
 def _print_stats(engine: NoDBEngine, out) -> None:
     q = engine.stats.last()
-    source = "adaptive store" if q.served_from_store else "flat file(s)"
+    if q.result_cache_hit:
+        source = "result cache"
+    elif q.served_from_store:
+        source = "adaptive store"
+    else:
+        source = "flat file(s)"
     parallel = (
         f" | parallel partitions {q.parallel_partitions}"
         if q.parallel_partitions
@@ -169,6 +190,8 @@ def main(argv: list[str] | None = None, stdin=None, stdout=None, stderr=None) ->
             policy=args.policy,
             parallel_workers=args.parallel_workers,
             partition_min_bytes=args.partition_min_bytes,
+            result_cache=args.result_cache,
+            max_cached_results=args.max_cached_results,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=stderr)

@@ -103,6 +103,23 @@ class EngineConfig:
     binary_write_bandwidth / binary_read_bandwidth:
         Optional simulated disk bandwidth for the binary store
         (bytes/second), used by the Figure 1a memory-wall simulation.
+    result_cache:
+        Cache completed query results keyed by (normalized statement,
+        file signature) and serve byte-identical repeats without loading
+        or executing anything.  Cached bytes are charged to
+        ``memory_budget_bytes`` and invalidated by the same staleness
+        path that drops positional maps.  Off by default: result reuse
+        changes the per-query work counters the paper's figures measure.
+    max_cached_results:
+        Entry cap of the result cache (least recently used beyond it is
+        dropped).
+    global_lock:
+        Serialize the whole load/metadata phase through one engine-wide
+        lock — the paper section 5.4 "simple solution", kept as the
+        baseline for `benchmarks/bench_concurrent.py` and as an escape
+        hatch.  Off by default: per-table reader–writer locking lets
+        queries over distinct tables (and warm queries over the same
+        table) proceed fully in parallel.
     """
 
     policy: str = "column_loads"
@@ -123,6 +140,9 @@ class EngineConfig:
     binary_store_dir: Path | None = None
     binary_write_bandwidth: float | None = None
     binary_read_bandwidth: float | None = None
+    result_cache: bool = False
+    max_cached_results: int = 256
+    global_lock: bool = False
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -141,6 +161,8 @@ class EngineConfig:
             )
         if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
             raise ValueError("memory_budget_bytes must be positive or None")
+        if self.max_cached_results <= 0:
+            raise ValueError("max_cached_results must be positive")
         if self.splitfile_dir is not None:
             self.splitfile_dir = Path(self.splitfile_dir)
         if self.persist_loads and self.binary_store_dir is None:

@@ -15,20 +15,48 @@ tokenization, parsing and storing as its loading policy decides, the
 adaptive store grows (and shrinks, under a memory budget) as a side effect,
 and edits to the underlying flat file invalidate derived state
 transparently (section 5.4's simple strategy).
+
+Concurrent serving
+------------------
+
+The paper's section 5.4 punts on concurrency ("serialize loading per
+engine"); this engine replaces that global lock with three layers:
+
+* **per-table reader–writer locks** (:class:`repro.locks.RWLock`, one on
+  each :class:`TableEntry`): queries over distinct tables never contend,
+  and warm queries over the *same* table share the read side and run
+  fully in parallel.  Loading — which mutates the store, the positional
+  map and the partition index — takes the write side.
+* **shared-scan batching** (:class:`repro.locks.SingleFlight`): when N
+  threads miss the store for the same cold (table, column-set), exactly
+  one runs the adaptive load; the rest wait on the flight and then serve
+  from the freshly loaded fragments instead of re-scanning the raw file.
+* an optional **query-result cache**
+  (:class:`repro.core.result_cache.QueryResultCache`): completed results,
+  keyed by normalized statement + file signature, served with no loading
+  or execution at all, charged to the memory budget and invalidated by
+  the same staleness path that drops positional maps.
+
+``EngineConfig(global_lock=True)`` restores the paper's serialization
+(the baseline of ``benchmarks/bench_concurrent.py``).
 """
 
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro.config import EngineConfig
 from repro.core.monitor import RobustnessMonitor
-from repro.core.policies import LoadContext, TableView, make_policy
+from repro.core.policies import LoadContext, LoadingPolicy, TableView, make_policy
+from repro.core.result_cache import FileSignature, QueryResultCache
 from repro.core.splitfile import SplitFileCatalog, cleanup_directory
 from repro.core.statistics import EngineStatistics, QueryStats, Stopwatch
-from repro.errors import StaleFileError
+from repro.errors import CatalogError, StaleFileError
+from repro.locks import SingleFlight
 from repro.result import QueryResult
+from repro.sql.ast_nodes import SelectStmt
 from repro.sql.binder import BoundQuery, bind
 from repro.sql.parser import parse_sql
 from repro.execution.executor import execute_bound_query
@@ -52,14 +80,23 @@ class NoDBEngine:
         )
         self.stats = EngineStatistics()
         self.monitor = RobustnessMonitor(policy=self.config.policy)
-        self._splits: dict[str, SplitFileCatalog] = {}
         self._owns_split_dir = self.config.splitfile_dir is None
-        # Section 5.4's "simple solution" to concurrency: loading and
-        # store mutation are serialized per engine; query execution over
-        # immutable NumPy fragments needs no further locking.  Coarse, but
-        # exactly the simplicity/complexity trade the paper recommends as
-        # the starting point.
+        # Catalog/config mutation (attach, detach, set_policy, close) is
+        # serialized here; with ``global_lock=True`` the whole per-query
+        # load phase is too (the paper's section 5.4 baseline).  Query
+        # serving otherwise relies on the per-table RW locks plus the
+        # shared-scan flight gate below.
         self._lock = threading.RLock()
+        # Serializes lazy creation of the shared split-file directory
+        # (two tables' first cold cracks may race).  Taken only while a
+        # table write lock is held, and never the other way around.
+        self._splitdir_lock = threading.Lock()
+        self._scan_gate = SingleFlight()
+        self.result_cache: QueryResultCache | None = None
+        if self.config.result_cache:
+            self.result_cache = QueryResultCache(
+                memory=self.memory, max_entries=self.config.max_cached_results
+            )
         self.binary_store: BinaryStore | None = None
         if self.config.binary_store_dir is not None:
             self.binary_store = BinaryStore(
@@ -85,19 +122,30 @@ class NoDBEngine:
         ``"fixed-width"`` (needs ``fixed_widths``), or ``"auto"`` to
         sniff lazily on first use.
         """
-        self.catalog.attach(
-            name,
-            path,
-            delimiter=delimiter,
-            bandwidth_bytes_per_sec=self.config.io_bandwidth_bytes_per_sec,
-            format=format,
-            fixed_widths=fixed_widths,
-        )
+        with self._lock:
+            self.catalog.attach(
+                name,
+                path,
+                delimiter=delimiter,
+                bandwidth_bytes_per_sec=self.config.io_bandwidth_bytes_per_sec,
+                format=format,
+                fixed_widths=fixed_widths,
+            )
 
     def detach(self, name: str) -> None:
-        entry = self.catalog.get(name)
-        self._invalidate_entry(entry)
-        self.catalog.detach(name)
+        # ``_lock`` is NOT held across the table write lock: the load
+        # path takes locks while a write lock is held, so the orders are
+        # kept disjoint rather than nested.  The tombstone (set under the
+        # same write lock every serve path checks under) stops queries
+        # that resolved the entry before this detach from repopulating
+        # store/split state on the unlisted entry afterwards.
+        with self._lock:
+            entry = self.catalog.get(name)
+        with entry.rwlock.write_locked():
+            entry.detached = True
+            self._invalidate_entry(entry)
+        with self._lock:
+            self.catalog.detach(name)
 
     def tables(self) -> list[str]:
         return self.catalog.names()
@@ -116,7 +164,8 @@ class NoDBEngine:
                 if table is not None
                 else list(self.catalog.entries.values())
             )
-            for entry in entries:
+        for entry in entries:
+            with entry.rwlock.write_locked():
                 self._invalidate_entry(entry)
 
     def set_policy(self, policy_name: str) -> None:
@@ -144,24 +193,35 @@ class NoDBEngine:
     def query(self, sql: str) -> QueryResult:
         """Parse, bind, adaptively load, and execute one SELECT.
 
-        Thread-safe: concurrent callers are serialized through the
-        loading/metadata phase (see ``_lock``); execution runs on the
-        immutable column snapshots captured in the views.
+        Thread-safe.  Concurrent callers contend only per table: store
+        mutation takes the table's write lock, warm serving shares its
+        read lock, identical cold scans are coalesced into one load, and
+        (when enabled) repeated queries are answered straight from the
+        result cache.
         """
         qstats = QueryStats(sql=sql, policy=self.config.policy)
         watch = Stopwatch()
         total = Stopwatch()
 
-        with self._lock:
-            bound = self._bind(sql)
-            entries = {b: self.catalog.get(t) for b, t in bound.tables.items()}
-            for entry in entries.values():
-                self._check_stale(entry)
-            qstats.tables = sorted({e.name for e in entries.values()})
+        stmt, bound = self._bind(sql)
+        entries = {b: self.catalog.get(t) for b, t in bound.tables.items()}
+        qstats.tables = sorted({e.name for e in entries.values()})
 
+        cache_key: str | None = None
+        signatures: dict[str, FileSignature] | None = None
+        if self.result_cache is not None:
+            cache_key, signatures = self._cache_probe_key(stmt, entries)
+            if cache_key is not None:
+                cached = self.result_cache.lookup(cache_key, signatures)
+                if cached is not None:
+                    return self._finish_cached(cached, qstats, total)
+                self.stats.count("result_cache_misses")
+
+        outer = self._lock if self.config.global_lock else nullcontext()
+        with outer:
             bytes_before, reads_before = self._file_io_totals(entries.values())
             watch.lap()
-            views = self._provide_views(bound, entries, qstats)
+            views = self._provide_views(bound, entries, qstats, signatures)
             qstats.load_s = watch.lap()
 
         result = execute_bound_query(
@@ -186,12 +246,15 @@ class NoDBEngine:
             "served_from_store": qstats.served_from_store,
             "file_bytes_read": qstats.file_bytes_read,
             "parallel_partitions": qstats.parallel_partitions,
+            "result_cache_hit": False,
         }
+        if cache_key is not None and signatures is not None:
+            self._maybe_cache(cache_key, signatures, entries, result)
         return result
 
     def explain(self, sql: str) -> str:
         """Describe what the query needs and what the store already has."""
-        bound = self._bind(sql)
+        _, bound = self._bind(sql)
         lines = [f"policy: {self.config.policy}"]
         for binding, table_name in bound.tables.items():
             entry = self.catalog.get(table_name)
@@ -222,7 +285,7 @@ class NoDBEngine:
 
     # ------------------------------------------------------------ internals
 
-    def _bind(self, sql: str) -> BoundQuery:
+    def _bind(self, sql: str) -> tuple[SelectStmt, BoundQuery]:
         stmt = parse_sql(sql)
         table_names = []
         if stmt.table is not None:
@@ -232,108 +295,364 @@ class NoDBEngine:
         for name in table_names:
             entry = self.catalog.get(name)
             schemas[name] = entry.ensure_schema()
-        return bind(stmt, schemas)
+        return stmt, bind(stmt, schemas)
+
+    # ------------------------------------------------------- result cache
+
+    def _cache_probe_key(
+        self, stmt: SelectStmt, entries: dict[str, TableEntry]
+    ) -> tuple[str | None, dict[str, FileSignature] | None]:
+        """Cache key + current file signatures (None when un-keyable)."""
+        try:
+            signatures = {
+                e.name.lower(): FileSignature.of(e.file.path)
+                for e in entries.values()
+            }
+        except OSError:
+            # File vanished mid-probe: let the load path raise properly.
+            return None, None
+        # The attachment uid in the key means a detach + re-attach of the
+        # same name (possibly same file, different parse options) can
+        # never hit — or be poisoned by — the old attachment's entries.
+        key = QueryResultCache.key_for(
+            repr(stmt),
+            [f"{e.name.lower()}#{e.uid}" for e in entries.values()],
+        )
+        return key, signatures
+
+    def _finish_cached(
+        self, cached: QueryResult, qstats: QueryStats, total: Stopwatch
+    ) -> QueryResult:
+        qstats.result_cache_hit = True
+        qstats.served_from_store = True
+        qstats.result_rows = cached.num_rows
+        qstats.elapsed_s = total.lap()
+        self.stats.count("result_cache_hits")
+        self.stats.record(qstats)
+        self.monitor.observe(qstats, self.memory.stats.evictions)
+        cached.stats = {
+            "policy": self.config.policy,
+            "elapsed_s": qstats.elapsed_s,
+            "served_from_store": True,
+            "file_bytes_read": 0,
+            "parallel_partitions": 0,
+            "result_cache_hit": True,
+        }
+        return cached
+
+    def _maybe_cache(
+        self,
+        cache_key: str,
+        signatures: dict[str, FileSignature],
+        entries: dict[str, TableEntry],
+        result: QueryResult,
+    ) -> None:
+        """Store the result unless its inputs changed while we computed it.
+
+        Two re-checks: every file signature must be unchanged, and every
+        table entry must still be the *current* attachment of its name —
+        a detach + re-attach of the same file under different parse
+        options (dialect, delimiter) would otherwise let this store
+        resurrect a result the detach already invalidated, keyed by a
+        signature the new attachment also matches.
+        """
+        if self.result_cache is None:
+            return
+        with self._lock:
+            current = all(
+                self.catalog.entries.get(e.name.lower()) is e
+                for e in entries.values()
+            )
+        if not current:
+            return
+        try:
+            fresh = {
+                e.name.lower(): FileSignature.of(e.file.path)
+                for e in entries.values()
+            }
+        except OSError:
+            return
+        if fresh == signatures:
+            self.result_cache.store(cache_key, result, fresh)
+
+    # ----------------------------------------------------------- providing
 
     def _provide_views(
         self,
         bound: BoundQuery,
         entries: dict[str, TableEntry],
         qstats: QueryStats,
+        signatures: dict[str, FileSignature] | None = None,
     ) -> dict[str, TableView]:
         views: dict[str, TableView] = {}
-        for binding, entry in entries.items():
-            # ``count(*)`` references no columns, but the row count still
-            # has to come from somewhere: load the first column.
-            needed = bound.needed_columns[binding]
-            if not needed:
-                needed = [entry.ensure_schema().columns[0].name]
-            # Pin this query's already-resident columns: loading a missing
-            # column must never evict a sibling the same query needs.
-            if entry.table is not None:
-                schema = entry.ensure_schema()
-                for name in needed:
-                    self.memory.pin((entry.table.name, schema.column(name).name))
-            # Split files re-slice raw rows with delimiter arithmetic,
-            # which only the plain delimited dialect supports; for other
-            # dialects the splitfiles policy degrades to column loads on
-            # that table (same results, no cracking).
-            splittable = entry.file.adapter.supports_find_jump
-            policy = self.policy
-            if self.config.policy == "splitfiles" and not splittable:
-                policy = self._splitfile_fallback
-            ctx = LoadContext(
-                entry=entry,
-                needed=needed,
-                condition=bound.conditions[binding],
-                config=self.config,
-                memory=self.memory,
-                qstats=qstats,
-                split=self._split_catalog(entry)
-                if self.config.policy == "splitfiles" and splittable
-                else None,
-                binary=self.binary_store,
-            )
-            views[binding] = policy.provide(ctx)
-        self.memory.release_pins()
+        # Tables are served one at a time, in a deterministic order, and
+        # each table's lock is released before the next is taken (views
+        # hold immutable array snapshots) — so multi-table queries cannot
+        # deadlock against each other.
+        for binding in sorted(entries, key=lambda b: entries[b].name.lower()):
+            entry = entries[binding]
+            known = (signatures or {}).get(entry.name.lower())
+            views[binding] = self._provide_one(binding, entry, bound, qstats, known)
         return views
 
+    def _provide_one(
+        self,
+        binding: str,
+        entry: TableEntry,
+        bound: BoundQuery,
+        qstats: QueryStats,
+        known_fingerprint: "FileSignature | None" = None,
+    ) -> TableView:
+        # ``count(*)`` references no columns, but the row count still has
+        # to come from somewhere: load the first column.
+        needed = bound.needed_columns[binding]
+        if not needed:
+            needed = [entry.ensure_schema().columns[0].name]
+        condition = bound.conditions[binding]
+        entry_key = entry.name.lower()
+        waited = False
+        while True:
+            # One coherent read per attempt: a concurrent set_policy must
+            # not be observed as one policy here and another in the
+            # flight key or the split-catalog decision below.
+            policy_name = self.config.policy
+            policy = self._policy_for(entry, policy_name)
+            # Warm path: serve from resident fragments under the shared
+            # read lock — warm queries on one table run fully in parallel.
+            # The result-cache probe already fingerprinted the file this
+            # query; reuse that observation instead of re-hashing.
+            if known_fingerprint is not None:
+                stale = (
+                    entry.loaded_fingerprint is not None
+                    and known_fingerprint != entry.loaded_fingerprint
+                )
+                known_fingerprint = None  # retries must observe fresh state
+            else:
+                stale = entry.is_stale()
+            if not stale:
+                ctx = self._make_ctx(entry, needed, condition, qstats, policy_name)
+                try:
+                    with entry.rwlock.read_locked():
+                        self._check_detached(entry)
+                        view = policy.try_serve_warm(ctx)
+                finally:
+                    self.memory.unpin_many(ctx.pinned_keys)
+                if view is not None:
+                    self._count_warm(qstats, waited)
+                    return view
+            # Cold path: coalesce identical scans into one flight, then
+            # load under the exclusive write lock.
+            flight_key = (
+                entry_key,
+                policy_name,
+                tuple(sorted(n.lower() for n in needed)),
+                repr(condition),
+            )
+            if not self._scan_gate.lead_or_wait(flight_key):
+                # Another thread just loaded exactly this: re-probe warm.
+                waited = True
+                continue
+            try:
+                with entry.rwlock.write_locked():
+                    self._check_detached(entry)
+                    # One stat serves both staleness and the fingerprint
+                    # the loaded data will be branded with: captured
+                    # BEFORE any raw read, so a file replaced mid-load
+                    # mismatches on the next query and is reloaded —
+                    # stamping it after the read (ensure_table's default)
+                    # would brand old bytes with the new file's identity.
+                    pre_fingerprint = self._check_stale(entry)
+                    ctx = self._make_ctx(
+                        entry, needed, condition, qstats, policy_name, for_load=True
+                    )
+                    try:
+                        view = policy.try_serve_warm(ctx)
+                        if view is not None:
+                            self._count_warm(qstats, waited)
+                            return view
+                        generation = entry.generation
+                        self._pin_resident(entry, needed, ctx)
+                        view = policy.provide(ctx)
+                        if entry.table is not None:
+                            entry.loaded_fingerprint = pre_fingerprint
+                        if view.went_to_file:
+                            self.stats.note_load(
+                                entry_key,
+                                frozenset(n.lower() for n in needed),
+                                generation,
+                            )
+                        else:
+                            # provide() without touching the raw file
+                            # (binary-store restore, v2 coverage found
+                            # inside the lock): warm in substance, and a
+                            # follower that waited still counts as reuse.
+                            self._count_warm(qstats, waited)
+                        return view
+                    finally:
+                        self.memory.unpin_many(ctx.pinned_keys)
+            finally:
+                self._scan_gate.done(flight_key)
+
+    def _count_warm(self, qstats: QueryStats, waited: bool) -> None:
+        if waited:
+            qstats.shared_scan_reused = True
+            self.stats.count("shared_scan_reuses")
+        else:
+            self.stats.count("warm_hits")
+
+    def _policy_for(self, entry: TableEntry, policy_name: str) -> LoadingPolicy:
+        """The effective policy for one table under ``policy_name``.
+
+        Split files re-slice raw rows with delimiter arithmetic, which
+        only the plain delimited dialect supports; for other dialects the
+        splitfiles policy degrades to column loads on that table (same
+        results, no cracking).  ``policy_name`` is the caller's coherent
+        snapshot of ``config.policy`` — re-reading it here could tear
+        against a concurrent ``set_policy``.
+        """
+        if policy_name == "splitfiles" and not self._splittable(entry):
+            return self._splitfile_fallback
+        if policy_name == self.config.policy:
+            return self.policy
+        return make_policy(policy_name)
+
+    @staticmethod
+    def _splittable(entry: TableEntry) -> bool:
+        return entry.file.adapter.supports_find_jump
+
+    def _make_ctx(
+        self,
+        entry: TableEntry,
+        needed: list[str],
+        condition,
+        qstats: QueryStats,
+        policy_name: str,
+        for_load: bool = False,
+    ) -> LoadContext:
+        # The split catalog is only materialized for the load path (its
+        # creation mutates the entry and must hold the write lock); warm
+        # probes never touch ctx.split.
+        split = None
+        if for_load and policy_name == "splitfiles" and self._splittable(entry):
+            split = self._split_catalog(entry)
+        return LoadContext(
+            entry=entry,
+            needed=needed,
+            condition=condition,
+            config=self.config,
+            memory=self.memory,
+            qstats=qstats,
+            split=split,
+            binary=self.binary_store,
+        )
+
+    def _pin_resident(self, entry: TableEntry, needed: list[str], ctx: LoadContext) -> None:
+        """Pin this query's already-resident columns: loading a missing
+        column must never evict a sibling the same query needs."""
+        if entry.table is None:
+            return
+        schema = entry.ensure_schema()
+        for name in needed:
+            ctx.pin((entry.table.name, schema.column(name).name))
+
     def _split_catalog(self, entry: TableEntry) -> SplitFileCatalog:
-        key = entry.name.lower()
-        if key not in self._splits:
+        """The entry's split catalog (caller holds the table write lock)."""
+        if entry.split_catalog is None:
             schema = entry.ensure_schema()
-            self._splits[key] = SplitFileCatalog(
+            with self._splitdir_lock:
+                directory = self.config.resolve_splitfile_dir()
+            entry.split_catalog = SplitFileCatalog(
                 source=entry.file,
-                directory=self.config.resolve_splitfile_dir(),
+                directory=directory,
                 ncols=len(schema),
-                table_key=key,
+                table_key=entry.name.lower(),
                 skip_rows=1 if entry.has_header else 0,
             )
-        return self._splits[key]
+        return entry.split_catalog
 
     def _file_io_totals(self, entries) -> tuple[int, int]:
+        """Raw-file I/O attributable to the *calling thread*.
+
+        ``QueryStats.file_bytes_read`` is the before/after delta of this,
+        taken on the query's own thread — so concurrent queries never
+        inherit each other's I/O (a shared-scan follower reports 0 even
+        though the leader read the whole file).  Split-file bytes are
+        still engine-wide counters: splitfile fetches run under the
+        table's write lock, so same-table deltas may observe the
+        leader's cracking I/O.
+        """
         total_bytes = 0
         total_reads = 0
         for entry in entries:
-            total_bytes += entry.file.stats.bytes_read
-            total_reads += entry.file.stats.read_calls
-            split = self._splits.get(entry.name.lower())
+            nbytes, calls = entry.file.thread_io_totals()
+            total_bytes += nbytes
+            total_reads += calls
+            split = entry.split_catalog
             if split is not None:
                 total_bytes += split.io_bytes_read()
         return total_bytes, total_reads
 
     # --------------------------------------------------------- invalidation
 
-    def _check_stale(self, entry: TableEntry) -> None:
-        if not entry.is_stale():
-            return
+    @staticmethod
+    def _check_detached(entry: TableEntry) -> None:
+        """Refuse to serve a tombstoned entry (caller holds a table lock).
+
+        A query may have resolved the entry just before a concurrent
+        ``detach`` completed; failing here (exactly as if the lookup had
+        happened after the detach) prevents it from repopulating store or
+        split state that nothing would ever clean up.
+        """
+        if entry.detached:
+            raise CatalogError(
+                f"table {entry.name!r} was detached while the query ran"
+            )
+
+    def _check_stale(self, entry: TableEntry):
+        """Invalidate a stale table (caller holds the table's write lock).
+
+        Returns the fingerprint observed by the check so the caller can
+        brand data loaded *after* this point with the pre-read identity.
+        """
+        fingerprint = entry.file.fingerprint()
+        if (
+            entry.loaded_fingerprint is None
+            or fingerprint == entry.loaded_fingerprint
+        ):
+            return fingerprint
         if not self.config.auto_invalidate:
             raise StaleFileError(
                 f"flat file for table {entry.name!r} changed after loading; "
                 "auto_invalidate is disabled"
             )
         self._invalidate_entry(entry)
+        return fingerprint
 
     def _invalidate_entry(self, entry: TableEntry) -> None:
         if entry.table is not None:
             for pc in entry.table.columns.values():
                 self.memory.forget((entry.table.name, pc.name))
-        entry.invalidate()
-        split = self._splits.pop(entry.name.lower(), None)
-        if split is not None:
-            split.destroy()
+        entry.invalidate()  # destroys the entry's split catalog too
         if self.binary_store is not None:
             self.binary_store.drop_table(entry.name)
+        if self.result_cache is not None:
+            self.result_cache.invalidate_table(entry.name.lower())
 
     # -------------------------------------------------------------- cleanup
 
     def close(self) -> None:
         """Release split-file scratch space."""
-        for split in self._splits.values():
-            split.destroy()
-        self._splits.clear()
-        if self._owns_split_dir and self.config.splitfile_dir is not None:
-            cleanup_directory(self.config.splitfile_dir)
-            self.config.splitfile_dir = None
+        with self._lock:
+            entries = list(self.catalog.entries.values())
+        for entry in entries:
+            split = entry.split_catalog
+            entry.split_catalog = None
+            if split is not None:
+                split.destroy()
+        with self._lock:
+            if self._owns_split_dir and self.config.splitfile_dir is not None:
+                cleanup_directory(self.config.splitfile_dir)
+                self.config.splitfile_dir = None
 
     def __enter__(self) -> "NoDBEngine":
         return self

@@ -24,7 +24,7 @@ view is built.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -60,6 +60,16 @@ class LoadContext:
     qstats: QueryStats
     split: SplitFileCatalog | None = None
     binary: BinaryStore | None = None
+    #: Memory-manager pins this context holds; the engine releases them
+    #: (one :meth:`MemoryManager.unpin` each) once the view is built.
+    pinned_keys: list[tuple[str, str]] = field(default_factory=list)
+
+    def pin(self, key: tuple[str, str]) -> bool:
+        """Pin a fragment for the duration of this context; record it."""
+        if self.memory.pin(key):
+            self.pinned_keys.append(key)
+            return True
+        return False
 
 
 @dataclass
@@ -88,7 +98,51 @@ class LoadingPolicy:
     def provide(self, ctx: LoadContext) -> TableView:  # pragma: no cover
         raise NotImplementedError
 
+    def try_serve_warm(self, ctx: LoadContext) -> TableView | None:
+        """Serve the query purely from resident fragments, or decline.
+
+        Called by the engine under the table's shared *read* lock, so it
+        must not mutate the entry, the store or the positional map — the
+        only side effects allowed are memory-manager pins/touches.
+        Returning ``None`` sends the caller to the exclusive load path.
+        Stateless policies (``external``, ``partial_v1``) keep nothing
+        and therefore never serve warm.
+        """
+        return None
+
     # ------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _warm_full_columns(ctx: LoadContext) -> TableView | None:
+        """Read-only store probe: every needed column fully resident.
+
+        Pins each fragment *before* inspecting it so a concurrent
+        eviction (which runs under the memory manager's lock, not the
+        table lock) cannot drop a column between the check and the
+        snapshot.  Any miss declines — the load path re-checks under the
+        write lock.
+        """
+        table = ctx.entry.table
+        if table is None:
+            return None
+        arrays: dict[str, np.ndarray] = {}
+        for name in ctx.needed:
+            pc = table.columns.get(name.lower())
+            if pc is None:
+                return None
+            key = (table.name, pc.name)
+            if not ctx.pin(key):
+                return None
+            if not pc.is_fully_loaded or pc.values is None:
+                return None
+            ctx.memory.touch(key)
+            arrays[name.lower()] = pc.values
+        return TableView(
+            nrows=table.nrows,
+            arrays=arrays,
+            served_from_store=True,
+            went_to_file=False,
+        )
 
     @staticmethod
     def _absorb_pass(ctx: LoadContext, result: PassResult) -> None:
@@ -161,9 +215,11 @@ def _register(ctx: LoadContext, table: Table, column_name: str) -> None:
     def dropper() -> None:
         pc.drop()
 
-    # Pinned for the duration of the current query (the engine releases all
-    # pins after the views are built) so a query cannot evict its own data.
+    # Pinned for the duration of the current query (the engine releases the
+    # context's pins after the views are built) so a query cannot evict its
+    # own data.
     ctx.memory.register(key, pc.logical_nbytes, dropper, pinned=True)
+    ctx.pinned_keys.append(key)
 
 
 # ---------------------------------------------------------------------------
@@ -175,6 +231,9 @@ class FullLoadPolicy(LoadingPolicy):
     """Load the complete table on first touch — the DBMS baseline."""
 
     name = "fullload"
+
+    def try_serve_warm(self, ctx: LoadContext) -> TableView | None:
+        return self._warm_full_columns(ctx)
 
     def provide(self, ctx: LoadContext) -> TableView:
         entry = ctx.entry
@@ -237,6 +296,9 @@ class ColumnLoadsPolicy(LoadingPolicy):
     """Adaptive loading at column granularity (Figure 3/4 "Column Loads")."""
 
     name = "column_loads"
+
+    def try_serve_warm(self, ctx: LoadContext) -> TableView | None:
+        return self._warm_full_columns(ctx)
 
     def provide(self, ctx: LoadContext) -> TableView:
         entry = ctx.entry
@@ -302,6 +364,23 @@ class PartialLoadsV2Policy(LoadingPolicy):
     """
 
     name = "partial_v2"
+
+    def try_serve_warm(self, ctx: LoadContext) -> TableView | None:
+        table = ctx.entry.table
+        if table is None:
+            return None
+        # Pin first: certificates only ever change under the table write
+        # lock, but eviction does not hold it — pinning every needed
+        # column freezes the fragments the coverage check relies on.
+        for name in ctx.needed:
+            pc = table.columns.get(name.lower())
+            if pc is None:
+                return None
+            if not ctx.pin((table.name, pc.name)):
+                return None
+        if not self._covered(table, ctx):
+            return None
+        return self._serve_from_store(ctx, table)
 
     def provide(self, ctx: LoadContext) -> TableView:
         entry = ctx.entry
@@ -371,6 +450,9 @@ class SplitFilesPolicy(LoadingPolicy):
     """
 
     name = "splitfiles"
+
+    def try_serve_warm(self, ctx: LoadContext) -> TableView | None:
+        return self._warm_full_columns(ctx)
 
     def provide(self, ctx: LoadContext) -> TableView:
         entry = ctx.entry

@@ -10,6 +10,7 @@ pathological workloads.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -38,6 +39,11 @@ class QueryStats:
     result_rows: int = 0
     #: Row-range partitions scanned by the parallel loader (0 = serial).
     parallel_partitions: int = 0
+    #: Served straight from the query-result cache (no load, no execute).
+    result_cache_hit: bool = False
+    #: At least one of this query's tables was served from fragments
+    #: loaded by a concurrent query's shared scan this query waited on.
+    shared_scan_reused: bool = False
 
     def summary(self) -> str:
         src = "store" if self.served_from_store else "file"
@@ -49,13 +55,95 @@ class QueryStats:
 
 
 @dataclass
+class ConcurrencyCounters:
+    """Serving-layer counters for the concurrent engine.
+
+    Every table view a query obtains is counted exactly once as a warm
+    hit, a shared-scan reuse or a shared-scan load, so::
+
+        warm_hits + shared_scan_reuses + shared_scan_loads
+            == table views provided
+
+    and, with the result cache enabled::
+
+        result_cache_hits + result_cache_misses == queries run
+
+    (a cache hit skips view provision entirely).  The per-signature load
+    ledger (:attr:`loads_by_signature`) counts raw-file loads by
+    ``(table, column-set, generation)``: shared-scan batching guarantees
+    at most one load per cold (table, column-set) generation for the
+    store-keeping policies, and the concurrency tests assert exactly
+    that.
+    """
+
+    #: Query served straight from the result cache.
+    result_cache_hits: int = 0
+    #: Result-cache probe missed (query then ran normally).
+    result_cache_misses: int = 0
+    #: Table view served from resident fragments without waiting.
+    warm_hits: int = 0
+    #: Table view served warm after waiting on another thread's load.
+    shared_scan_reuses: int = 0
+    #: Table view whose provision ran a raw-file load (flight leader).
+    shared_scan_loads: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache_misses": self.result_cache_misses,
+            "warm_hits": self.warm_hits,
+            "shared_scan_reuses": self.shared_scan_reuses,
+            "shared_scan_loads": self.shared_scan_loads,
+        }
+
+
+@dataclass
 class EngineStatistics:
     """Accumulated per-engine history."""
 
     queries: list[QueryStats] = field(default_factory=list)
+    counters: ConcurrencyCounters = field(default_factory=ConcurrencyCounters)
+    #: (table key, frozenset of columns, generation) -> raw-file loads.
+    loads_by_signature: dict[tuple, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
 
     def record(self, q: QueryStats) -> None:
-        self.queries.append(q)
+        with self._lock:
+            self.queries.append(q)
+
+    # ------------------------------------------------- concurrency counters
+
+    def count(self, counter: str, n: int = 1) -> None:
+        """Atomically bump one :class:`ConcurrencyCounters` field."""
+        with self._lock:
+            setattr(self.counters, counter, getattr(self.counters, counter) + n)
+
+    #: Ledger cap: a long-running serving engine bumps a table's
+    #: generation on every file edit, so unpruned (table, columns,
+    #: generation) keys would grow forever.  FIFO-drop the oldest past
+    #: this bound — far above what any test or debugging session reads.
+    _MAX_LOAD_SIGNATURES = 4096
+
+    def note_load(
+        self, table_key: str, columns: frozenset[str], generation: int
+    ) -> None:
+        """Record one raw-file load for a (table, column-set) generation."""
+        signature = (table_key, columns, generation)
+        with self._lock:
+            self.counters.shared_scan_loads += 1
+            self.loads_by_signature[signature] = (
+                self.loads_by_signature.get(signature, 0) + 1
+            )
+            while len(self.loads_by_signature) > self._MAX_LOAD_SIGNATURES:
+                oldest = next(iter(self.loads_by_signature))
+                del self.loads_by_signature[oldest]
+
+    def max_loads_per_signature(self) -> int:
+        """The worst duplicate-load count across all generations (0 = none)."""
+        with self._lock:
+            return max(self.loads_by_signature.values(), default=0)
 
     @property
     def total_file_bytes(self) -> int:

@@ -15,7 +15,9 @@ things for free everywhere else:
 
 from __future__ import annotations
 
+import hashlib
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -92,22 +94,52 @@ class FileWindows:
         return len(self.buffer)
 
 
+#: Bytes hashed from each end of a file for the fingerprint's content
+#: probe (two small preads; never counted as engine I/O).
+PROBE_BYTES = 4096
+
+
+def content_probe(path: Path | str, size: int) -> bytes:
+    """Digest of the head and tail of the file (bounded, unaccounted I/O)."""
+    digest = hashlib.blake2b(digest_size=16)
+    with open(path, "rb") as f:  # seek+read, not os.pread: portable
+        digest.update(f.read(PROBE_BYTES))
+        if size > PROBE_BYTES:
+            f.seek(max(0, size - PROBE_BYTES))
+            digest.update(f.read(PROBE_BYTES))
+    return digest.digest()
+
+
 @dataclass(frozen=True)
 class FileFingerprint:
-    """Cheap identity of a file's contents: size + mtime_ns.
+    """Identity of a file's contents, shared by every staleness check.
 
-    Hashing contents would be exact but costs a full read; size+mtime is
-    the classic build-system compromise and is what the engine's
-    auto-invalidation uses.
+    Hashing whole contents would be exact but costs a full read, so the
+    fingerprint layers cheap evidence: size + mtime_ns (the classic
+    build-system compromise), the inode (free from the same ``stat``;
+    catches atomic replacement via ``os.replace`` even when size and
+    mtime collide), and a bounded head/tail content probe (catches the
+    pathological in-place same-size rewrite whose mtime was forced
+    back).  One mechanism, one strength: the adaptive store's
+    auto-invalidation and the query-result cache both key on this, so
+    the cache can never outlive data the store would consider fresh or
+    vice versa.
     """
 
     size: int
     mtime_ns: int
+    ino: int = 0
+    probe: bytes = b""
 
     @classmethod
     def of(cls, path: Path) -> "FileFingerprint":
         st = os.stat(path)
-        return cls(size=st.st_size, mtime_ns=st.st_mtime_ns)
+        return cls(
+            size=st.st_size,
+            mtime_ns=st.st_mtime_ns,
+            ino=st.st_ino,
+            probe=content_probe(path, st.st_size),
+        )
 
 
 @dataclass
@@ -161,6 +193,14 @@ class FlatFile:
         self.path = Path(self.path)
         if not self.path.exists():
             raise FlatFileError(f"flat file does not exist: {self.path}")
+        # Shared counters are engine-wide truth; the thread-local mirror
+        # lets a concurrently-serving engine compute *per-query* byte
+        # deltas without attributing another thread's I/O to this query
+        # (all of one query's raw reads happen on its calling thread —
+        # partition workers report via account_reads on the merge thread,
+        # and read_windows accounts after its thread pool joins).
+        self._stats_lock = threading.Lock()
+        self._thread_stats = threading.local()
         if isinstance(self.format, FormatAdapter):
             self._adapter: FormatAdapter | None = self.format
         else:
@@ -220,12 +260,28 @@ class FlatFile:
         return FileFingerprint.of(self.path)
 
     def _account(self, nbytes: int, full_scan: bool, calls: int = 1) -> None:
-        self.stats.bytes_read += nbytes
-        self.stats.read_calls += calls
-        if full_scan:
-            self.stats.full_scans += 1
+        with self._stats_lock:
+            self.stats.bytes_read += nbytes
+            self.stats.read_calls += calls
+            if full_scan:
+                self.stats.full_scans += 1
+        tls = self._thread_stats
+        tls.bytes_read = getattr(tls, "bytes_read", 0) + nbytes
+        tls.read_calls = getattr(tls, "read_calls", 0) + calls
         if self.bandwidth_bytes_per_sec:
+            # Outside the lock: the simulated disk may be read by many
+            # threads at once (that overlap is what bench_concurrent
+            # measures).
             time.sleep(nbytes / self.bandwidth_bytes_per_sec)
+
+    def thread_io_totals(self) -> tuple[int, int]:
+        """This thread's cumulative (bytes read, read calls) on this file.
+
+        The engine snapshots these before/after a query to report exact
+        per-query raw I/O even while other threads hit the same file.
+        """
+        tls = self._thread_stats
+        return getattr(tls, "bytes_read", 0), getattr(tls, "read_calls", 0)
 
     def account_reads(
         self, nbytes: int, *, calls: int = 1, full_scan: bool = False

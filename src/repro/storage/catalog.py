@@ -9,6 +9,8 @@ lazily, as side effects of queries.
 
 from __future__ import annotations
 
+import itertools
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -17,10 +19,17 @@ from repro.errors import CatalogError
 
 if TYPE_CHECKING:  # import would be circular at runtime (core -> storage)
     from repro.core.partitions import PartitionIndex
+    from repro.core.splitfile import SplitFileCatalog
 from repro.flatfile.files import FileFingerprint, FlatFile
 from repro.flatfile.positions import PositionalMap
 from repro.flatfile.schema import TableSchema, infer_schema, looks_like_header
+from repro.locks import RWLock
 from repro.storage.table import Table
+
+#: Process-wide attachment epochs: every TableEntry gets a distinct uid,
+#: so state keyed on it (e.g. result-cache keys) can never confuse two
+#: attachments of the same table name.
+_ENTRY_UIDS = itertools.count(1)
 
 
 @dataclass
@@ -36,33 +45,68 @@ class TableEntry:
     #: Cached newline-aligned row-range partitioning (parallel scans);
     #: derived state like the positional map, invalidated with it.
     partitions: "PartitionIndex | None" = None
+    #: Split (cracked) per-column files for the splitfiles policy — owned
+    #: by the entry (not an engine-wide name-keyed map) so a detached
+    #: entry can never leak its catalog to a re-attached namesake.
+    #: Only ever created/used under the table's write lock.
+    split_catalog: "SplitFileCatalog | None" = None
     loaded_fingerprint: FileFingerprint | None = None
+    #: Reader–writer lock serializing store mutation per table: queries
+    #: answered from resident fragments share the read side; loads (and
+    #: invalidation) take the write side.  Distinct tables never contend.
+    rwlock: RWLock = field(default_factory=RWLock, repr=False, compare=False)
+    #: Serializes lazy schema inference (callers may hold no table lock).
+    schema_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    #: Bumped on every invalidation; a "cold (table, columns) generation"
+    #: in the shared-scan accounting is keyed by this counter.
+    generation: int = 0
+    #: Tombstone set (under the write lock) when the table is detached: a
+    #: query that resolved this entry before the detach must fail instead
+    #: of silently repopulating store/split state on an unlisted entry.
+    detached: bool = False
+    #: Attachment epoch (unique per attach, even of the same name/file):
+    #: cached results are keyed on it, so a result computed under one
+    #: attachment's parse options can never serve a re-attachment's.
+    uid: int = field(default_factory=lambda: next(_ENTRY_UIDS))
 
     # -------------------------------------------------------------- schema
 
     def ensure_schema(self) -> TableSchema:
-        """Infer the schema on first use (paper section 5.6)."""
-        if self.schema is None:
-            rows = self.file.sample_rows()
-            if not rows:
-                raise CatalogError(f"file {self.file.path} is empty")
-            embedded = self.file.adapter.embedded_header
-            if embedded is not None:
-                # The dialect carries its own column names (JSON-lines
-                # keys): no header *line* exists to skip.
-                self.has_header = False
-                self.schema = infer_schema(rows, header=embedded)
-                return self.schema
-            second = rows[1] if len(rows) > 1 else None
-            self.has_header = looks_like_header(rows[0], second)
-            if self.has_header:
-                header, body = rows[0], rows[1:]
-                if not body:
-                    raise CatalogError(f"file {self.file.path} has a header but no data")
-                self.schema = infer_schema(body, header=header)
-            else:
-                self.schema = infer_schema(rows)
-        return self.schema
+        """Infer the schema on first use (paper section 5.6).
+
+        Thread-safe: concurrent first uses race to the ``schema_lock``
+        and exactly one performs the sampling I/O.
+        """
+        schema = self.schema
+        if schema is not None:
+            return schema
+        with self.schema_lock:
+            if self.schema is None:
+                self._infer_schema()
+            return self.schema
+
+    def _infer_schema(self) -> None:
+        rows = self.file.sample_rows()
+        if not rows:
+            raise CatalogError(f"file {self.file.path} is empty")
+        embedded = self.file.adapter.embedded_header
+        if embedded is not None:
+            # The dialect carries its own column names (JSON-lines
+            # keys): no header *line* exists to skip.
+            self.has_header = False
+            self.schema = infer_schema(rows, header=embedded)
+            return
+        second = rows[1] if len(rows) > 1 else None
+        self.has_header = looks_like_header(rows[0], second)
+        if self.has_header:
+            header, body = rows[0], rows[1:]
+            if not body:
+                raise CatalogError(f"file {self.file.path} has a header but no data")
+            self.schema = infer_schema(body, header=header)
+        else:
+            self.schema = infer_schema(rows)
 
     def ensure_table(self, nrows: int) -> Table:
         """Create the adaptive-store table once the row count is known."""
@@ -90,8 +134,12 @@ class TableEntry:
         self.table = None
         self.positional_map.clear()
         self.partitions = None
+        if self.split_catalog is not None:
+            self.split_catalog.destroy()
+            self.split_catalog = None
         self.loaded_fingerprint = None
         self.schema = None
+        self.generation += 1
         self.file.reset_format_state()
 
 

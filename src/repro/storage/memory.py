@@ -5,18 +5,40 @@ loading ... may be thrown away at any time.  The only cost is that of
 having to reload this data part if it is needed again in the future."
 
 :class:`MemoryManager` enforces a byte budget over registered fragments
-(one fragment = one partial column).  When a charge would exceed the
-budget, least-recently-used fragments are dropped — via the eviction
-callback their owner registered — until the charge fits.  A fragment larger
-than the whole budget is admitted alone and evicted as soon as anything
-else needs room; refusing it outright would make queries unanswerable,
-which the paper never allows (robustness, section 5.5).
+(one fragment = one partial column, or one cached query result).  When a
+charge would exceed the budget, least-recently-used fragments are dropped
+— via the eviction callback their owner registered — until the charge
+fits.  A fragment larger than the whole budget is admitted alone and
+evicted as soon as anything else needs room; refusing it outright would
+make queries unanswerable, which the paper never allows (robustness,
+section 5.5).
+
+Thread safety and re-entrancy
+-----------------------------
+
+The manager is shared by every table of a concurrently-serving engine, so
+all bookkeeping runs under one re-entrant lock.  Eviction callbacks fire
+*while the lock is held* and are allowed to re-enter the manager (a
+fragment owner's dropper may ``forget`` siblings or ``register`` a
+replacement): the re-entrant lock makes the nested call safe, and a
+nested ``_enforce`` is deferred to the outermost one — which re-reads
+``resident_bytes`` on every loop iteration, so charges added by a
+callback are still driven back under budget before the outer call
+returns.
+
+Pins are **counted**, not boolean: concurrent queries that pin the same
+fragment each hold one pin, and a fragment is evictable only when every
+query that pinned it has released its pin.  This is what makes "a query
+can always hold its own working set" true under concurrency — one
+query's release must not expose a sibling query's working set to
+eviction.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 
 @dataclass
@@ -27,7 +49,11 @@ class FragmentInfo:
     nbytes: int
     last_used: int
     dropper: Callable[[], None]
-    pinned: bool = False
+    pins: int = 0
+
+    @property
+    def pinned(self) -> bool:
+        return self.pins > 0
 
 
 @dataclass
@@ -48,12 +74,17 @@ class MemoryManager:
     fragments: dict[tuple[str, str], FragmentInfo] = field(default_factory=dict)
     stats: MemoryStats = field(default_factory=MemoryStats)
     _clock: int = 0
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+    _enforcing: bool = field(default=False, repr=False, compare=False)
 
     # ------------------------------------------------------------- charges
 
     @property
     def resident_bytes(self) -> int:
-        return sum(f.nbytes for f in self.fragments.values())
+        with self._lock:
+            return sum(f.nbytes for f in self.fragments.values())
 
     def _tick(self) -> int:
         self._clock += 1
@@ -68,76 +99,130 @@ class MemoryManager:
     ) -> None:
         """Register or resize a fragment and make room for it.
 
-        ``dropper`` is called (outside any lock; the engine is
-        single-writer) when the manager decides to evict the fragment; it
-        must release the owner's data so a future query reloads it.
+        ``dropper`` is called (under the manager's re-entrant lock) when
+        the manager decides to evict the fragment; it must release the
+        owner's data so a future query reloads it, and it may safely
+        re-enter the manager.
+
+        ``pinned=True`` adds **one** pin that the caller must release via
+        :meth:`unpin` (the engine does this when its query's views are
+        built); re-registering an already-pinned fragment with
+        ``pinned=True`` adds another pin.
         """
-        tick = self._tick()
-        existing = self.fragments.get(key)
-        if existing is not None:
-            existing.nbytes = nbytes
-            # Under FIFO, ``last_used`` is the insertion order and must
-            # survive resizes — refreshing it here would silently turn
-            # FIFO into LRU for any fragment that grows.
-            if self.policy == "lru":
-                existing.last_used = tick
-            existing.dropper = dropper
-            existing.pinned = pinned
-        else:
-            self.fragments[key] = FragmentInfo(key, nbytes, tick, dropper, pinned)
-        self._enforce(exclude=key)
-        self.stats.peak_bytes = max(self.stats.peak_bytes, self.resident_bytes)
+        with self._lock:
+            tick = self._tick()
+            existing = self.fragments.get(key)
+            if existing is not None:
+                existing.nbytes = nbytes
+                # Under FIFO, ``last_used`` is the insertion order and must
+                # survive resizes — refreshing it here would silently turn
+                # FIFO into LRU for any fragment that grows.
+                if self.policy == "lru":
+                    existing.last_used = tick
+                existing.dropper = dropper
+                if pinned:
+                    existing.pins += 1
+            else:
+                self.fragments[key] = FragmentInfo(
+                    key, nbytes, tick, dropper, pins=1 if pinned else 0
+                )
+            self._enforce(exclude=key)
+            self.stats.peak_bytes = max(self.stats.peak_bytes, self.resident_bytes)
 
     def touch(self, key: tuple[str, str]) -> None:
-        frag = self.fragments.get(key)
-        if frag is not None and self.policy == "lru":
-            frag.last_used = self._tick()
+        with self._lock:
+            frag = self.fragments.get(key)
+            if frag is not None and self.policy == "lru":
+                frag.last_used = self._tick()
 
     def forget(self, key: tuple[str, str]) -> None:
         """Remove book-keeping without calling the dropper (owner dropped)."""
-        self.fragments.pop(key, None)
+        with self._lock:
+            self.fragments.pop(key, None)
 
     # -------------------------------------------------------------- pinning
 
-    def pin(self, key: tuple[str, str]) -> None:
-        """Protect a fragment from eviction until :meth:`release_pins`.
+    def pin(self, key: tuple[str, str]) -> bool:
+        """Add one pin protecting a fragment from eviction.
 
         The engine pins every fragment the *current* query needs so that
         loading one of the query's columns can never evict another: a query
         must always be able to hold its own working set (robustness, paper
-        section 5.5).
+        section 5.5).  Returns True when the fragment exists (and is now
+        pinned); the caller owes a matching :meth:`unpin`.
         """
-        frag = self.fragments.get(key)
-        if frag is not None:
-            frag.pinned = True
+        with self._lock:
+            frag = self.fragments.get(key)
+            if frag is None:
+                return False
+            frag.pins += 1
+            return True
+
+    def unpin(self, key: tuple[str, str]) -> None:
+        """Release one pin (no-op for unknown/unpinned fragments)."""
+        with self._lock:
+            frag = self.fragments.get(key)
+            if frag is not None and frag.pins > 0:
+                frag.pins -= 1
+
+    def unpin_many(self, keys: Iterable[tuple[str, str]], enforce: bool = True) -> None:
+        """Release one pin per key, then re-check the budget."""
+        with self._lock:
+            for key in keys:
+                frag = self.fragments.get(key)
+                if frag is not None and frag.pins > 0:
+                    frag.pins -= 1
+            if enforce:
+                self._enforce()
 
     def release_pins(self) -> None:
-        """Unpin everything and re-enforce the budget."""
-        for frag in self.fragments.values():
-            frag.pinned = False
-        self._enforce()
+        """Zero every pin and re-enforce the budget.
+
+        Single-threaded escape hatch (and the pre-concurrency API): with
+        parallel queries in flight, prefer matched :meth:`pin` /
+        :meth:`unpin` pairs — zeroing pins here would expose another
+        query's working set.
+        """
+        with self._lock:
+            for frag in self.fragments.values():
+                frag.pins = 0
+            self._enforce()
 
     # ------------------------------------------------------------ eviction
 
     def _enforce(self, exclude: tuple[str, str] | None = None) -> None:
+        """Evict until under budget (lock held by caller).
+
+        Re-entrant calls (a dropper registering/forgetting during
+        eviction) return immediately; the outermost loop re-reads the
+        resident total every iteration and drives any nested additions
+        back under budget itself.
+        """
         if self.budget_bytes is None:
             return
-        while self.resident_bytes > self.budget_bytes:
-            victims = [
-                f
-                for f in self.fragments.values()
-                if not f.pinned and f.key != exclude
-            ]
-            if not victims:
-                # Only the newcomer (or pinned data) remains: admit it and
-                # stop — a query must always be able to hold its own data.
-                break
-            victim = min(victims, key=lambda f: f.last_used)
-            del self.fragments[victim.key]
-            self.stats.evictions += 1
-            self.stats.bytes_evicted += victim.nbytes
-            victim.dropper()
+        if self._enforcing:
+            return
+        self._enforcing = True
+        try:
+            while sum(f.nbytes for f in self.fragments.values()) > self.budget_bytes:
+                victims = [
+                    f
+                    for f in self.fragments.values()
+                    if f.pins == 0 and f.key != exclude
+                ]
+                if not victims:
+                    # Only the newcomer (or pinned data) remains: admit it
+                    # and stop — a query must always hold its own data.
+                    break
+                victim = min(victims, key=lambda f: f.last_used)
+                del self.fragments[victim.key]
+                self.stats.evictions += 1
+                self.stats.bytes_evicted += victim.nbytes
+                victim.dropper()
+        finally:
+            self._enforcing = False
 
     def enforce(self) -> None:
         """Re-check the budget (called after pins are released)."""
-        self._enforce(exclude=None)
+        with self._lock:
+            self._enforce(exclude=None)

@@ -107,6 +107,7 @@ def test_committed_baseline_is_valid():
     payload = json.loads((root / "BENCH_BASELINE.json").read_text())
     assert 0 < payload["tolerance"] < 1
     assert set(payload["benches"]) == {
+        "concurrent",
         "dialects",
         "parallel_scan",
         "selective_read",

@@ -95,3 +95,53 @@ class TestAutoTuningEngine:
             for _ in range(10):
                 auto.query(SQL)
             assert auto.switches[0].query_index == 8
+
+    def test_no_switch_exactly_one_query_before_cooldown(self, small_csv):
+        """Boundary: the switch can fire at query == cooldown, not before."""
+        with AutoTuningEngine(
+            EngineConfig(policy="external"), cooldown=8
+        ) as auto:
+            auto.attach("r", small_csv)
+            for _ in range(7):
+                auto.query(SQL)
+            assert not auto.switches  # advice exists but cooldown gates it
+            auto.query(SQL)
+            assert len(auto.switches) == 1
+
+    def test_window_cleared_after_switch_prevents_double_fire(self, small_csv):
+        """Hysteresis: post-switch, the stale pre-switch window must not
+        trigger a second switch — the monitor history is cleared and the
+        cooldown restarts from the switch."""
+        with AutoTuningEngine(
+            EngineConfig(policy="external"), cooldown=8
+        ) as auto:
+            auto.attach("r", small_csv)
+            for _ in range(9):
+                auto.query(SQL)
+            assert len(auto.switches) == 1
+            assert auto.engine.monitor.history == [] or len(
+                auto.engine.monitor.history
+            ) < 8
+            for _ in range(10):
+                auto.query(SQL)
+            # splitfiles now serves from the store: healthy, no flapping.
+            assert len(auto.switches) == 1
+            assert auto.policy == "splitfiles"
+
+    def test_advice_matching_current_policy_not_logged(self, small_csv, monkeypatch):
+        """advise() returning the already-running policy is a no-op."""
+        from repro.core.monitor import PolicyAdvice
+
+        with AutoTuningEngine(
+            EngineConfig(policy="column_loads"), cooldown=2
+        ) as auto:
+            auto.attach("r", small_csv)
+            monkeypatch.setattr(
+                auto.engine.monitor,
+                "advise",
+                lambda: PolicyAdvice(switch_to="column_loads", reason="noop"),
+            )
+            for _ in range(6):
+                auto.query(SQL)
+            assert not auto.switches
+            assert auto.policy == "column_loads"

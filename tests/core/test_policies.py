@@ -167,7 +167,7 @@ class TestSplitFiles:
         engine.query(SQL_A34)  # needs late columns -> splits everything
         q = engine.stats.last()
         assert q.split_files_written >= 4
-        split = engine._splits["r"]
+        split = engine.catalog.get("r").split_catalog
         assert all(h.kind == "single" for h in split.homes.values())
 
     def test_later_loads_read_single_files(self, engine_factory, small_csv):
@@ -183,7 +183,7 @@ class TestSplitFiles:
     def test_early_columns_split_less(self, engine_factory):
         engine = engine_factory("splitfiles")
         engine.query(SQL_A12)  # needs a1,a2: splits a1,a2 + remainder
-        split = engine._splits["r"]
+        split = engine.catalog.get("r").split_catalog
         assert split.homes[0].kind == "single"
         assert split.homes[1].kind == "single"
         assert split.homes[2].kind == "remainder"
@@ -193,7 +193,7 @@ class TestSplitFiles:
         engine = engine_factory("splitfiles")
         engine.query(SQL_A12)
         engine.query("select sum(a3) from r")
-        split = engine._splits["r"]
+        split = engine.catalog.get("r").split_catalog
         assert split.homes[2].kind == "single"
         # a4 moved to a fresh (smaller) remainder, away from the original.
         assert split.homes[3].kind == "remainder"
@@ -221,7 +221,7 @@ class TestSplitFilesDialectFallback:
             engine.attach("r", p, format="jsonl")
             result = engine.query("select sum(a2) from r where a1 > 1")
             assert result.scalar() == 50
-            assert engine._splits == {}  # no split catalog was created
+            assert engine.catalog.get("r").split_catalog is None  # never cracked
             # the fallback still populates the adaptive store
             table = engine.catalog.get("r").table
             assert table is not None and table.columns
@@ -237,9 +237,9 @@ class TestSplitFilesDialectFallback:
         try:
             engine.attach("r", p, format="quoted-csv")
             assert engine.query("select count(*) from r").scalar() == 2
-            assert engine._splits == {}
+            assert engine.catalog.get("r").split_catalog is None
         finally:
             engine.close()
         plain = engine_factory("splitfiles")
         plain.query("select sum(a1) from r")
-        assert "r" in plain._splits  # the plain dialect still cracks
+        assert plain.catalog.get("r").split_catalog is not None  # plain still cracks

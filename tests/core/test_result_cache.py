@@ -1,0 +1,289 @@
+"""The query-result cache: correctness, invalidation, budget accounting.
+
+The dangerous property of a result cache is serving a *stale* answer —
+a result computed from bytes the file no longer contains.  The
+Hypothesis suite below drives random interleavings of queries, appends,
+rewrites (including the mtime-granularity same-size rewrite edge case)
+and cache-clearing against one engine, and after every step requires
+the answer to equal a fresh re-read of the file.  The unit tests pin
+the cache's LRU/limit behaviour and its MemoryManager integration.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EngineConfig, NoDBEngine
+from repro.core.result_cache import (
+    FileSignature,
+    QueryResultCache,
+    result_nbytes,
+)
+from repro.result import QueryResult
+from repro.storage.memory import MemoryManager
+
+
+def _write_rows(path, values):
+    """One int column per line."""
+    path.write_text("\n".join(str(v) for v in values) + "\n")
+
+
+def _result(values) -> QueryResult:
+    return QueryResult(names=["x"], columns=[np.asarray(values, dtype=np.int64)])
+
+
+# ---------------------------------------------------------------------------
+# unit: cache mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestCacheMechanics:
+    def test_lookup_roundtrip_and_counters(self, tmp_path):
+        f = tmp_path / "a.csv"
+        _write_rows(f, [1, 2, 3])
+        cache = QueryResultCache(max_entries=4)
+        sig = {"t": FileSignature.of(f)}
+        key = QueryResultCache.key_for("q1", ["t"])
+        assert cache.lookup(key, sig) is None
+        cache.store(key, _result([6]), sig)
+        hit = cache.lookup(key, sig)
+        assert hit is not None and int(hit.columns[0][0]) == 6
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_signature_mismatch_drops_entry(self, tmp_path):
+        f = tmp_path / "a.csv"
+        _write_rows(f, [1, 2, 3])
+        cache = QueryResultCache(max_entries=4)
+        key = QueryResultCache.key_for("q1", ["t"])
+        cache.store(key, _result([6]), {"t": FileSignature.of(f)})
+        _write_rows(f, [4, 5, 6])
+        assert cache.lookup(key, {"t": FileSignature.of(f)}) is None
+        assert cache.stats.invalidations == 1
+        assert len(cache) == 0
+
+    def test_lru_entry_cap(self, tmp_path):
+        f = tmp_path / "a.csv"
+        _write_rows(f, [1])
+        cache = QueryResultCache(max_entries=2)
+        sig = {"t": FileSignature.of(f)}
+        keys = [QueryResultCache.key_for(f"q{i}", ["t"]) for i in range(3)]
+        for key in keys:
+            cache.store(key, _result([1]), sig)
+        assert len(cache) == 2
+        assert cache.lookup(keys[0], sig) is None  # oldest evicted
+        assert cache.lookup(keys[2], sig) is not None
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_table_drops_only_its_results(self, tmp_path):
+        fa, fb = tmp_path / "a.csv", tmp_path / "b.csv"
+        _write_rows(fa, [1])
+        _write_rows(fb, [2])
+        cache = QueryResultCache(max_entries=8)
+        ka = QueryResultCache.key_for("qa", ["a"])
+        kb = QueryResultCache.key_for("qb", ["b"])
+        cache.store(ka, _result([1]), {"a": FileSignature.of(fa)})
+        cache.store(kb, _result([2]), {"b": FileSignature.of(fb)})
+        assert cache.invalidate_table("a") == 1
+        assert cache.lookup(ka, {"a": FileSignature.of(fa)}) is None
+        assert cache.lookup(kb, {"b": FileSignature.of(fb)}) is not None
+
+    def test_bytes_charged_and_evictable_by_memory_manager(self, tmp_path):
+        f = tmp_path / "a.csv"
+        _write_rows(f, [1])
+        big = _result(list(range(2000)))  # 16 kB of int64
+        budget = result_nbytes(big) + 512
+        memory = MemoryManager(budget_bytes=budget)
+        cache = QueryResultCache(memory=memory, max_entries=8)
+        sig = {"t": FileSignature.of(f)}
+        k1 = QueryResultCache.key_for("q1", ["t"])
+        k2 = QueryResultCache.key_for("q2", ["t"])
+        cache.store(k1, big, sig)
+        assert memory.resident_bytes >= result_nbytes(big)
+        cache.store(k2, big, sig)  # exceeds budget: LRU result evicted
+        assert cache.lookup(k1, sig) is None
+        assert cache.lookup(k2, sig) is not None
+        assert memory.stats.evictions >= 1
+        assert cache.stats.evictions >= 1
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            QueryResultCache(max_entries=0)
+
+    def test_caller_mutation_cannot_poison_cache(self, tmp_path):
+        """The storer keeps its own arrays; hit results are read-only."""
+        f = tmp_path / "a.csv"
+        _write_rows(f, [1, 2, 3])
+        cache = QueryResultCache(max_entries=4)
+        sig = {"t": FileSignature.of(f)}
+        key = QueryResultCache.key_for("q", ["t"])
+        mine = _result([1, 2, 3])
+        cache.store(key, mine, sig)
+        mine.columns[0][0] = 999  # storer mutates its own copy: fine
+        hit = cache.lookup(key, sig)
+        assert int(hit.columns[0][0]) == 1  # cache unaffected
+        with pytest.raises((ValueError, RuntimeError)):
+            hit.columns[0][0] = 777  # hit results fail loudly on write
+        again = cache.lookup(key, sig)
+        assert int(again.columns[0][0]) == 1
+
+
+# ---------------------------------------------------------------------------
+# unit: the mtime-granularity edge cases
+# ---------------------------------------------------------------------------
+
+
+def _force_stat(path, mtime_ns: int) -> None:
+    st = os.stat(path)
+    os.utime(path, ns=(st.st_atime_ns, mtime_ns))
+
+
+class TestMtimeEdgeCases:
+    def test_same_size_replace_with_forged_mtime(self, tmp_path):
+        """os.replace with identical size AND mtime: inode still differs."""
+        f = tmp_path / "a.csv"
+        _write_rows(f, [10, 20, 30])
+        old = os.stat(f)
+        engine = NoDBEngine(EngineConfig(policy="column_loads", result_cache=True))
+        try:
+            engine.attach("t", f)
+            assert int(engine.query("select sum(a1) from t").scalar()) == 60
+            staging = tmp_path / "staging.csv"
+            _write_rows(staging, [40, 20, 30])  # same byte length
+            os.replace(staging, f)
+            _force_stat(f, old.st_mtime_ns)
+            assert os.stat(f).st_size == old.st_size
+            assert os.stat(f).st_mtime_ns == old.st_mtime_ns
+            assert int(engine.query("select sum(a1) from t").scalar()) == 90
+        finally:
+            engine.close()
+
+    @pytest.mark.parametrize("policy", ["external", "column_loads", "partial_v2"])
+    def test_in_place_same_size_forged_mtime_content_probe(self, policy, tmp_path):
+        """In-place rewrite preserving size, mtime AND inode: only the
+        fingerprint's content probe can tell — and it must, for the
+        result cache AND the adaptive store (same mechanism: were the
+        store's staleness weaker, its stale fragments would poison the
+        cache under the fresh signature)."""
+        f = tmp_path / "a.csv"
+        _write_rows(f, [10, 20, 30])
+        old = os.stat(f)
+        engine = NoDBEngine(EngineConfig(policy=policy, result_cache=True))
+        try:
+            engine.attach("t", f)
+            assert int(engine.query("select sum(a1) from t").scalar()) == 60
+            with open(f, "r+") as fh:  # in-place: same inode
+                fh.write("40")
+            _force_stat(f, old.st_mtime_ns)
+            st = os.stat(f)
+            assert (st.st_size, st.st_mtime_ns, st.st_ino) == (
+                old.st_size,
+                old.st_mtime_ns,
+                old.st_ino,
+            )
+            assert int(engine.query("select sum(a1) from t").scalar()) == 90
+            assert engine.result_cache.stats.invalidations >= 1
+            # repeats must also be right (no poisoned cache entry)
+            assert int(engine.query("select sum(a1) from t").scalar()) == 90
+        finally:
+            engine.close()
+
+
+class TestReattachIsolation:
+    def test_reattach_same_file_new_options_never_hits_old_results(self, tmp_path):
+        """Cache keys carry the attachment epoch: detach + re-attach of
+        the same unchanged file under different parse options must not
+        serve (or be poisoned by) the old attachment's cached results."""
+        f = tmp_path / "a.csv"
+        f.write_text("1,2\n3,4\n")
+        engine = NoDBEngine(EngineConfig(policy="column_loads", result_cache=True))
+        try:
+            engine.attach("t", f)  # delimiter ','
+            first = engine.query("select a1 from t").to_dict()
+            assert [int(v) for v in first["a1"]] == [1, 3]
+            engine.query("select a1 from t")  # cached now
+            engine.detach("t")
+            engine.attach("t", f, delimiter=";")  # same file, one str column
+            second = engine.query("select a1 from t").to_dict()
+            assert [str(v) for v in second["a1"]] == ["1,2", "3,4"]
+        finally:
+            engine.close()
+
+
+# ---------------------------------------------------------------------------
+# property: random query/edit/evict interleavings never serve stale
+# ---------------------------------------------------------------------------
+
+_STEPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("query"), st.integers(0, 2)),
+        st.tuples(st.just("append"), st.integers(1, 99)),
+        st.tuples(st.just("rewrite"), st.integers(100, 999)),
+        st.tuples(st.just("rewrite_same_size"), st.integers(100, 999)),
+        st.tuples(st.just("clear_store"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+_QUERIES = [
+    "select sum(a1) from t",
+    "select count(*) from t",
+    "select min(a1), max(a1) from t",
+]
+
+
+def _expected(rows: list[int], qidx: int):
+    if qidx == 0:
+        return (sum(rows),)
+    if qidx == 1:
+        return (len(rows),)
+    return (min(rows), max(rows))
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps=_STEPS, policy=st.sampled_from(["column_loads", "external"]))
+def test_never_serves_stale_result(steps, policy, tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("rc-prop")
+    f = tmp_path / "t.csv"
+    rows = [100, 200, 300]
+    _write_rows(f, rows)
+    engine = NoDBEngine(
+        EngineConfig(policy=policy, result_cache=True, max_cached_results=4)
+    )
+    try:
+        engine.attach("t", f)
+        for op, arg in steps:
+            if op == "query":
+                got = tuple(
+                    int(v) for v in engine.query(_QUERIES[arg]).rows()[0]
+                )
+                assert got == _expected(rows, arg), (op, arg, rows)
+            elif op == "append":
+                rows = rows + [arg]
+                with open(f, "a") as fh:
+                    fh.write(f"{arg}\n")
+            elif op == "rewrite":
+                rows = [arg] * len(rows) + [arg]
+                staging = tmp_path / "s.csv"
+                _write_rows(staging, rows)
+                os.replace(staging, f)
+            elif op == "rewrite_same_size":
+                # same row count, same byte length, forged mtime
+                old = os.stat(f)
+                rows = [arg if len(str(v)) == len(str(arg)) else v for v in rows]
+                staging = tmp_path / "s.csv"
+                _write_rows(staging, rows)
+                os.replace(staging, f)
+                _force_stat(f, old.st_mtime_ns)
+            elif op == "clear_store":
+                engine.clear_cache("t")
+        # drain: one final answer must match the final file
+        got = tuple(int(v) for v in engine.query(_QUERIES[0]).rows()[0])
+        assert got == _expected(rows, 0)
+    finally:
+        engine.close()

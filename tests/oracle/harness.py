@@ -16,6 +16,8 @@ normalization and the compare loop itself.
 from __future__ import annotations
 
 import math
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 import numpy as np
@@ -44,6 +46,7 @@ __all__ = [
     "normalize",
     "oracle_results",
     "render_table",
+    "run_workload_concurrently",
     "tables",
 ]
 
@@ -176,6 +179,26 @@ def oracle_results(path, kwargs, queries) -> list[list[tuple]]:
         return [normalize(oracle.query(q)) for q in queries]
     finally:
         oracle.close()
+
+
+def run_workload_concurrently(
+    engine, queries, nthreads: int
+) -> list[list[list[tuple]]]:
+    """Replay ``queries`` from ``nthreads`` threads against one engine.
+
+    Every thread runs the *whole* workload in order, all released
+    together by a barrier to maximize interleavings (shared cold scans,
+    racing warm reads, result-cache races).  Returns the normalized
+    per-thread answer lists; any thread exception is re-raised.
+    """
+    barrier = threading.Barrier(nthreads)
+
+    def replay(_: int) -> list[list[tuple]]:
+        barrier.wait()
+        return [normalize(engine.query(q)) for q in queries]
+
+    with ThreadPoolExecutor(max_workers=nthreads) as pool:
+        return list(pool.map(replay, range(nthreads)))
 
 
 def compare_engine_to_oracle(

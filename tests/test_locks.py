@@ -1,0 +1,131 @@
+"""Unit tests for the serving-layer concurrency primitives."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.locks import RWLock, SingleFlight
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        inside = threading.Barrier(3, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # all three readers in simultaneously
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            list(pool.map(lambda _: reader(), range(3)))
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RWLock()
+        counter = {"value": 0, "max_seen": 0}
+
+        def writer(_):
+            with lock.write_locked():
+                counter["value"] += 1
+                counter["max_seen"] = max(counter["max_seen"], counter["value"])
+                time.sleep(0.001)
+                counter["value"] -= 1
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(writer, range(16)))
+        assert counter["max_seen"] == 1
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: once a writer waits, new readers queue."""
+        lock = RWLock()
+        lock.acquire_read()
+        writer_waiting = threading.Event()
+        writer_done = threading.Event()
+        order: list[str] = []
+
+        def writer():
+            writer_waiting.set()
+            with lock.write_locked():
+                order.append("writer")
+            writer_done.set()
+
+        def late_reader():
+            writer_waiting.wait(5)
+            time.sleep(0.01)  # ensure the writer is parked first
+            with lock.read_locked():
+                order.append("reader")
+
+        tw = threading.Thread(target=writer)
+        tr = threading.Thread(target=late_reader)
+        tw.start()
+        writer_waiting.wait(5)
+        tr.start()
+        time.sleep(0.02)
+        lock.release_read()  # unblocks the writer, then the reader
+        tw.join(5)
+        tr.join(5)
+        assert order == ["writer", "reader"]
+
+    def test_release_without_acquire_raises(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_write_then_read_interleave(self):
+        lock = RWLock()
+        with lock.write_locked():
+            pass
+        with lock.read_locked():
+            pass  # lock fully released after the writer
+
+
+class TestSingleFlight:
+    def test_single_leader_many_followers(self):
+        gate = SingleFlight()
+        roles: list[bool] = []
+        barrier = threading.Barrier(6, timeout=5)
+        release = threading.Event()
+
+        def contender(_):
+            barrier.wait()
+            if gate.lead_or_wait("key"):
+                release.wait(5)
+                roles.append(True)
+                gate.done("key")
+            else:
+                roles.append(False)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            futures = [pool.submit(contender, i) for i in range(6)]
+            time.sleep(0.02)
+            release.set()
+            for future in futures:
+                future.result(timeout=5)
+        assert roles.count(True) == 1
+        assert roles.count(False) == 5
+
+    def test_distinct_keys_fly_independently(self):
+        gate = SingleFlight()
+        assert gate.lead_or_wait("a")
+        assert gate.lead_or_wait("b")  # different key: not blocked
+        assert gate.in_flight() == 2
+        gate.done("a")
+        gate.done("b")
+        assert gate.in_flight() == 0
+
+    def test_done_without_flight_raises(self):
+        gate = SingleFlight()
+        with pytest.raises(RuntimeError):
+            gate.done("ghost")
+
+    def test_new_flight_after_done(self):
+        gate = SingleFlight()
+        assert gate.lead_or_wait("k")
+        gate.done("k")
+        assert gate.lead_or_wait("k")  # key reusable once the flight lands
+        gate.done("k")
