@@ -64,7 +64,17 @@ class EngineConfig:
         Never create a row-range partition smaller than this many bytes;
         files smaller than two minimum-size partitions are scanned
         serially regardless of ``parallel_workers`` (pool dispatch costs
-        more than it saves on small files).
+        more than it saves on small files).  The default is 4 MiB: with
+        the vectorized tokenization kernel a worker clears a megabyte in
+        milliseconds, so smaller partitions would be dominated by task
+        dispatch and result pickling — the regression the old 1 MiB
+        default exhibited on the ``parallel_scan`` bench.
+    vectorized_tokenizer:
+        Route cold scans through the NumPy bulk-tokenization kernel
+        (:mod:`repro.flatfile.vectorized`) for dialects that support it
+        (plain delimited, TSV, fixed-width).  Outputs, learned positional
+        maps and work counters are identical to the scalar tokenizer —
+        off is the ablation/differential-testing baseline.
     parallel_start_method:
         Multiprocessing start method for the scan worker pool: ``None``
         (default) prefers ``fork`` where available — cheap, and safe for
@@ -128,8 +138,9 @@ class EngineConfig:
     selective_reads: bool = True
     selective_read_max_gap: int = 4
     parallel_workers: int = 1
-    partition_min_bytes: int = 1 << 20
+    partition_min_bytes: int = 4 << 20
     parallel_start_method: str | None = None
+    vectorized_tokenizer: bool = True
     tokenizer_early_abort: bool = True
     predicate_pushdown: bool = True
     splitfile_dir: Path | None = None

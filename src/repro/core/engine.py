@@ -567,6 +567,7 @@ class NoDBEngine:
                 ncols=len(schema),
                 table_key=entry.name.lower(),
                 skip_rows=1 if entry.has_header else 0,
+                vectorized=self.config.vectorized_tokenizer,
             )
         return entry.split_catalog
 

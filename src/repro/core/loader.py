@@ -54,7 +54,7 @@ from repro.flatfile.tokenizer import (
     RawPredicate,
     TokenizerStats,
     gather_fields,
-    tokenize_dialect,
+    tokenize_bytes,
 )
 from repro.ranges import Condition
 from repro.storage.catalog import TableEntry
@@ -279,13 +279,9 @@ def run_pass(
     predicates = _pushdown_predicates(
         entry, condition if pushdown else None, config, parse_stats
     )
-    text = entry.file.read_all()
-    if pmap is not None:
-        pmap.record_text_geometry(
-            nbytes=entry.file.size_bytes(), nchars=len(text)
-        )
-    result = tokenize_dialect(
-        text,
+    data = entry.file.read_all_bytes()
+    result = tokenize_bytes(
+        data,
         entry.file.adapter,
         ncols=len(schema),
         needed=want_cols,
@@ -294,6 +290,7 @@ def run_pass(
         positional_map=pmap,
         learn=pmap is not None,
         skip_rows=skip,
+        vectorized=config.vectorized_tokenizer,
     )
     nrows = result.stats.rows_scanned
     columns: dict[str, np.ndarray] = {}

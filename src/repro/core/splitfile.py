@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.errors import FlatFileError
 from repro.flatfile.files import FlatFile
-from repro.flatfile.tokenizer import TokenizerStats, tokenize_columns
+from repro.flatfile.tokenizer import TokenizerStats, tokenize_bytes
 
 
 @dataclass
@@ -62,6 +62,9 @@ class SplitFileCatalog:
     ncols: int
     table_key: str
     skip_rows: int = 0
+    #: Route remainder tokenization through the vectorized kernel (the
+    #: engine mirrors ``EngineConfig.vectorized_tokenizer`` here).
+    vectorized: bool = True
     homes: dict[int, ColumnHome] = field(default_factory=dict)
     _counter: int = 0
     files_written: int = 0
@@ -129,15 +132,16 @@ class SplitFileCatalog:
         local_of = {c: self.homes[c].offset for c in members}
         width = len(members)
         max_needed_local = max(local_of[c] for c in global_cols)
-        text = home.file.read_all()
+        data = home.file.read_all_bytes()
         local_needed = list(range(max_needed_local + 1))
-        result = tokenize_columns(
-            text,
+        result = tokenize_bytes(
+            data,
+            home.file.adapter,
             ncols=width,
             needed=local_needed,
-            delimiter=home.file.delimiter,
             early_abort=True,
             skip_rows=home.skip_rows,
+            vectorized=self.vectorized,
         )
         out: dict[int, list[str]] = {}
         local_to_global = {local_of[c]: c for c in members}
@@ -158,7 +162,7 @@ class SplitFileCatalog:
             tail_path = self.directory / f"{self.table_key}_rem{self._counter}.txt"
             self._counter += 1
             self._write_remainder(
-                text, result, tail_path, home
+                data.decode("utf-8"), result, tail_path, home
             )
             written += 1
             tail_file = FlatFile(tail_path, delimiter=home.file.delimiter)
@@ -237,11 +241,11 @@ class SplitFileCatalog:
         self._counter = 0
 
 
-def _write_lines(path: Path, values: list[str]) -> None:
+def _write_lines(path: Path, values) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8", newline="") as f:
         f.write("\n".join(values))
-        if values:
+        if len(values):
             f.write("\n")
 
 

@@ -30,6 +30,12 @@ Capability flags drive graceful degradation in the engine:
                           positional-map learning and selective reads
 ``identity_decode``       raw field text *is* the logical value (no unquote
                           or unescape step)
+``supports_vectorized``   rows and fields are framed by raw ASCII bytes
+                          alone, so the NumPy bulk-tokenization kernel
+                          (:mod:`repro.flatfile.vectorized`) may replace
+                          the scalar scan (plain delimited, TSV and
+                          fixed-width; quoted CSV needs a quote state
+                          machine and JSON-lines has no spans)
 ========================  ===================================================
 
 Concrete adapters: plain delimited (the original substrate), RFC-4180
@@ -103,6 +109,7 @@ class FormatAdapter:
     supports_partitioning = True
     supports_field_spans = True
     identity_decode = False
+    supports_vectorized = False
 
     # ------------------------------------------------------------- framing
 
@@ -132,8 +139,16 @@ class FormatAdapter:
         """Map one raw encoded field to its logical value."""
         return raw
 
-    def decode_many(self, values: list[str]) -> list[str]:
-        """Decode a batch (identity-dialect fast path skips the loop)."""
+    def decode_many(self, values):
+        """Decode a batch of raw fields (list or NumPy string array).
+
+        The identity-dialect fast path returns the batch untouched —
+        including whole NumPy arrays from the vectorized kernel, so
+        pure-ASCII plain-delimited content never pays a per-field decode.
+        Non-identity dialects that the kernel supports override this
+        with a bulk, array-in/array-out implementation; the base
+        per-field loop only ever sees lists.
+        """
         if self.identity_decode:
             return values
         return [self.decode_field(v) for v in values]
@@ -178,6 +193,7 @@ class DelimitedAdapter(FormatAdapter):
     supports_partitioning = True
     supports_field_spans = True
     identity_decode = True
+    supports_vectorized = True
 
     def __post_init__(self) -> None:
         if len(self.delimiter) != 1 or self.delimiter in ("\n", "\r"):
@@ -357,9 +373,30 @@ class TsvAdapter(FormatAdapter):
     supports_partitioning = True
     supports_field_spans = True
     identity_decode = False
+    supports_vectorized = True
 
     def iter_fields(self, row: str) -> Iterator[tuple[int, int, str]]:
         return _iter_delimited(row, "\t")
+
+    def decode_many(self, values):
+        """Bulk unescape: untouched fields (the common case) never loop."""
+        if isinstance(values, np.ndarray):
+            if len(values) == 0:
+                return values
+            if values.dtype.kind == "U":
+                escaped = np.char.find(values, "\\") >= 0
+                if not escaped.any():
+                    return values
+                out = values.astype(object)
+            else:
+                out = values.astype(object)
+                escaped = np.fromiter(
+                    ("\\" in v for v in out), dtype=bool, count=len(out)
+                )
+            for i in np.nonzero(escaped)[0].tolist():
+                out[i] = self.decode_field(str(out[i]))
+            return out
+        return [self.decode_field(v) for v in values]
 
     def decode_field(self, raw: str) -> str:
         if "\\" not in raw:
@@ -495,6 +532,7 @@ class FixedWidthAdapter(FormatAdapter):
     supports_partitioning = True
     supports_field_spans = True
     identity_decode = False
+    supports_vectorized = True
 
     def __post_init__(self) -> None:
         self.widths = tuple(int(w) for w in self.widths)
@@ -523,6 +561,23 @@ class FixedWidthAdapter(FormatAdapter):
 
     def decode_field(self, raw: str) -> str:
         return raw.rstrip(" ")
+
+    def decode_many(self, values):
+        """Bulk de-pad: one vectorized rstrip instead of a Python loop.
+
+        Array in, array out — the kernel indexes the result with NumPy
+        row selections, so the object-dtype batches (NUL-trailing
+        fields) must stay arrays too.
+        """
+        if isinstance(values, np.ndarray):
+            if len(values) == 0:
+                return values
+            if values.dtype.kind == "U":
+                return np.char.rstrip(values, " ")
+            return np.array(
+                [self.decode_field(str(v)) for v in values], dtype=object
+            )
+        return [self.decode_field(v) for v in values]
 
     def encode_row(self, values: Sequence[str]) -> str:
         if len(values) != len(self.widths):

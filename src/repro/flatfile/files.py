@@ -259,7 +259,9 @@ class FlatFile:
     def fingerprint(self) -> FileFingerprint:
         return FileFingerprint.of(self.path)
 
-    def _account(self, nbytes: int, full_scan: bool, calls: int = 1) -> None:
+    def _account(
+        self, nbytes: int, full_scan: bool, calls: int = 1, throttle: bool = True
+    ) -> None:
         with self._stats_lock:
             self.stats.bytes_read += nbytes
             self.stats.read_calls += calls
@@ -268,7 +270,7 @@ class FlatFile:
         tls = self._thread_stats
         tls.bytes_read = getattr(tls, "bytes_read", 0) + nbytes
         tls.read_calls = getattr(tls, "read_calls", 0) + calls
-        if self.bandwidth_bytes_per_sec:
+        if throttle and self.bandwidth_bytes_per_sec:
             # Outside the lock: the simulated disk may be read by many
             # threads at once (that overlap is what bench_concurrent
             # measures).
@@ -284,23 +286,39 @@ class FlatFile:
         return getattr(tls, "bytes_read", 0), getattr(tls, "read_calls", 0)
 
     def account_reads(
-        self, nbytes: int, *, calls: int = 1, full_scan: bool = False
+        self,
+        nbytes: int,
+        *,
+        calls: int = 1,
+        full_scan: bool = False,
+        throttled: bool = False,
     ) -> None:
         """Account bytes read *outside* this handle (partition workers).
 
         The parallel partitioned scan reads byte ranges of this file in
         worker processes, whose I/O the parent-side counters never see.
-        The merge step reports the totals here so accounting (and the
-        simulated-bandwidth throttle, which models one shared disk) stays
-        identical to the serial path.
+        The merge step reports the totals here so accounting stays
+        identical to the serial path.  ``throttled=True`` means the
+        readers already paid the simulated-bandwidth sleep in-process
+        (partition workers each stream their own byte range, so their
+        simulated disk time overlaps instead of serializing here).
         """
-        self._account(nbytes, full_scan, calls=calls)
+        self._account(nbytes, full_scan, calls=calls, throttle=not throttled)
+
+    def read_all_bytes(self) -> bytes:
+        """Read and return the entire file's raw bytes (one full scan).
+
+        The cold-scan entry of the vectorized tokenization kernel: the
+        kernel frames rows and fields over these bytes directly, so
+        pure-ASCII files never materialize a decoded Python string at all.
+        """
+        data = self.path.read_bytes()
+        self._account(len(data), full_scan=True)
+        return data
 
     def read_all(self) -> str:
         """Read and return the entire file as text (one full scan)."""
-        data = self.path.read_bytes()
-        self._account(len(data), full_scan=True)
-        return data.decode("utf-8")
+        return self.read_all_bytes().decode("utf-8")
 
     def read_range(self, start: int, end: int) -> str:
         """Read bytes ``[start, end)`` — used for positional-map jumps."""

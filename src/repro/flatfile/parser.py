@@ -38,10 +38,23 @@ def parse_fields(
 
     Raises :class:`FlatFileError` on the first unparseable value, naming
     the value — silent coercion would corrupt query answers.
+
+    When ``raw`` is already a NumPy string array (the vectorized
+    tokenization kernel's output), the conversion is one bulk ``astype``
+    over the whole column.  NumPy's str→int64/float64 casts apply the
+    same Python-level ``int()``/``float()`` parsing rules as the scalar
+    loop, so acceptance, values and the widening ladder's trigger points
+    are identical — only the per-value interpreter dispatch disappears.
     """
     if stats is not None:
         stats.values_parsed += len(raw)
     try:
+        if isinstance(raw, np.ndarray) and raw.dtype.kind in ("U", "O"):
+            if dtype is DataType.INT64:
+                return raw.astype(np.int64)
+            if dtype is DataType.FLOAT64:
+                return raw.astype(np.float64)
+            return raw.astype(object)
         if dtype is DataType.INT64:
             return np.array([int(v) for v in raw], dtype=np.int64)
         if dtype is DataType.FLOAT64:

@@ -114,6 +114,29 @@ class PositionalMap:
         if self.text_geometry is None:
             self.text_geometry = (nbytes, nchars)
 
+    def absorb_offsets(
+        self,
+        cols: list[int],
+        starts: list[np.ndarray],
+        ends: list[np.ndarray],
+    ) -> None:
+        """Bulk-learn several columns' field spans in one call.
+
+        The vectorized kernel hands over whole columns of its row×field
+        offset matrix (``starts[i]``/``ends[i]`` are ``int64[nrows]``
+        arrays for column ``cols[i]``) instead of offering one field at a
+        time.  Semantics match serial learning: first writer wins per
+        column, and every array must cover every row.
+        """
+        if not (len(cols) == len(starts) == len(ends)):
+            raise ValueError(
+                f"absorb_offsets: {len(cols)} columns but "
+                f"{len(starts)} start and {len(ends)} end arrays"
+            )
+        for col, s, e in zip(cols, starts, ends):
+            if not self.knows_column(col):
+                self.record_field_offsets(col, s, e)
+
     # ----------------------------------------------------------- exploiting
 
     def knows_column(self, col: int) -> bool:

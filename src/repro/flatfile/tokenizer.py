@@ -33,6 +33,16 @@ Two routes implement those tricks:
   spans (where the dialect defines them — quoted CSV and fixed-width do,
   JSON-lines does not) still feed the positional map.
 
+A third route sits *above* both for cold scans over raw bytes:
+:func:`tokenize_bytes` dispatches to the NumPy bulk-tokenization kernel
+(:mod:`repro.flatfile.vectorized`) for dialects whose rows and fields are
+framed by raw ASCII bytes (``FormatAdapter.supports_vectorized``), and
+falls back to the scalar routes above — decoding the bytes first — when
+the kernel is ineligible or declines (ragged rows, usable positional-map
+anchors, non-ASCII fixed-width content).  The kernel's outputs, learned
+offsets and work counters are exactly the scalar routes'; only the
+per-byte interpreter cost disappears.
+
 Quoted fields, escaped separators, JSON records and fixed-width records
 are therefore supported through adapters; see :mod:`repro.flatfile.
 dialects` for the dialect semantics and capability flags.
@@ -77,13 +87,15 @@ class TokenizerStats:
 class TokenizeResult:
     """Output of one selective tokenization pass.
 
-    ``fields[col]`` holds the raw text of column ``col`` for every emitted
-    row, in row order.  ``row_ids`` are the 0-based indices (within the
-    tokenized range) of the emitted rows; when predicates filtered nothing,
-    this is simply ``arange(rows_scanned)``.
+    ``fields[col]`` holds the text of column ``col`` for every emitted
+    row, in row order — a plain list from the scalar routes, a NumPy
+    string array from the vectorized kernel (downstream typed parsing
+    converts whole arrays in bulk).  ``row_ids`` are the 0-based indices
+    (within the tokenized range) of the emitted rows; when predicates
+    filtered nothing, this is simply ``arange(rows_scanned)``.
     """
 
-    fields: dict[int, list[str]]
+    fields: dict[int, Sequence[str]]
     row_ids: np.ndarray
     stats: TokenizerStats = field(default_factory=TokenizerStats)
 
@@ -420,9 +432,150 @@ def tokenize_dialect(
     )
 
 
+def tokenize_bytes(
+    data: bytes,
+    adapter: FormatAdapter,
+    ncols: int,
+    needed: Sequence[int],
+    *,
+    early_abort: bool = True,
+    predicates: dict[int, RawPredicate] | None = None,
+    positional_map: PositionalMap | None = None,
+    learn: bool = True,
+    skip_rows: int = 0,
+    vectorized: bool = True,
+) -> TokenizeResult:
+    """Tokenize raw file bytes: vectorized kernel first, scalar fallback.
+
+    The cold-scan entry point.  Dialects framed by raw ASCII bytes
+    (``adapter.supports_vectorized``) go through the NumPy bulk kernel,
+    which touches each byte once, in bulk, and never even decodes the
+    file to a Python string on the pure-ASCII fast path.  Everything
+    else — and any text the kernel declines (ragged rows, usable map
+    anchors, non-ASCII fixed-width) — decodes once and takes the scalar
+    routes, with identical outputs, learned offsets and work counters.
+    ``vectorized=False`` forces the scalar path (the ablation/differential
+    toggle surfaced as ``EngineConfig.vectorized_tokenizer``).
+    """
+    if vectorized and adapter.supports_vectorized:
+        from repro.flatfile.vectorized import tokenize_vectorized
+
+        result = tokenize_vectorized(
+            data,
+            adapter,
+            ncols=ncols,
+            needed=needed,
+            early_abort=early_abort,
+            predicates=predicates,
+            positional_map=positional_map,
+            learn=learn,
+            skip_rows=skip_rows,
+        )
+        if result is not None:
+            return result
+    text = data.decode("utf-8")
+    if positional_map is not None:
+        positional_map.record_text_geometry(nbytes=len(data), nchars=len(text))
+    return tokenize_dialect(
+        text,
+        adapter,
+        ncols=ncols,
+        needed=needed,
+        early_abort=early_abort,
+        predicates=predicates,
+        positional_map=positional_map,
+        learn=learn,
+        skip_rows=skip_rows,
+    )
+
+
 #: Above this field width the padded gather matrix (nrows x maxlen) stops
 #: paying for itself; fall back to direct per-slice extraction.
 _GATHER_MAX_FIELD = 256
+
+
+def bulk_extract_fields(
+    data: bytes,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    *,
+    buf: np.ndarray | None = None,
+    char_lengths: np.ndarray | None = None,
+    ascii_only: bool | None = None,
+    nul_free: bool = False,
+) -> np.ndarray:
+    """Bulk-slice ``data[starts[i] : starts[i] + lengths[i]]`` into strings.
+
+    The shared extraction core of the selective-read gather and the
+    vectorized tokenization kernel: one NumPy fancy-indexing step builds
+    a ``(n, maxlen)`` NUL-padded byte matrix viewed as fixed-width
+    bytes, converted to strings with a single ``S``→``U`` cast when the
+    content is pure ASCII (no per-field decode at all) and with a C-level
+    ``np.char.decode`` otherwise.  Fields wider than the padded matrix
+    pays for (:data:`_GATHER_MAX_FIELD`) are sliced directly — one
+    whole-window ASCII decode when possible, per-field UTF-8 otherwise.
+
+    The fixed-width ``S`` view strips trailing NULs, which would truncate
+    a field that legitimately ends in NUL bytes; unless the caller
+    vouches the buffer is NUL-free, every decoded length is audited
+    against ``char_lengths`` (``lengths`` when not given — byte lengths,
+    so multi-byte fields are also caught) and mismatches are re-sliced
+    exactly into an object-dtype batch.
+
+    ``buf``/``ascii_only`` let a caller that already scanned the bytes
+    (the kernel) skip recomputing them.
+    """
+    n = len(starts)
+    if n == 0:
+        return np.empty(0, dtype="U1")
+    if (lengths < 0).any():
+        raise FlatFileError("gather_fields: negative field length")
+    maxlen = int(lengths.max())
+    if maxlen == 0:
+        return np.zeros(n, dtype="U1")
+    if maxlen > _GATHER_MAX_FIELD:
+        pairs = list(zip(starts.tolist(), lengths.tolist()))
+        # One whole-buffer decode beats per-field decodes only when the
+        # fields cover most of the buffer (the selective-read windows);
+        # a single wide column of a big file decodes just its slices.
+        if ascii_only is not False and 2 * int(lengths.sum()) >= len(data):
+            try:
+                text = data.decode("ascii")
+                return np.array(
+                    [text[s : s + ln] for s, ln in pairs], dtype=object
+                )
+            except UnicodeDecodeError:
+                pass
+        return np.array(
+            [data[s : s + ln].decode("utf-8") for s, ln in pairs],
+            dtype=object,
+        )
+    if buf is None:
+        buf = np.frombuffer(data, dtype=np.uint8)
+    if len(buf) == 0:
+        raise FlatFileError("gather_fields: non-empty fields but empty buffer")
+    offs = np.arange(maxlen, dtype=np.int64)
+    idx = starts[:, None] + offs[None, :]
+    np.clip(idx, 0, max(len(buf) - 1, 0), out=idx)
+    chars = buf[idx]
+    chars[offs[None, :] >= lengths[:, None]] = 0
+    packed = np.ascontiguousarray(chars).view(f"S{maxlen}").ravel()
+    if ascii_only is None:
+        ascii_only = not bool((chars > 127).any())
+    if ascii_only:
+        out = packed.astype(f"U{maxlen}")
+    else:
+        out = np.char.decode(packed, "utf-8")
+    if nul_free:
+        return out
+    expected = lengths if char_lengths is None else char_lengths
+    bad = np.nonzero(np.char.str_len(out) != expected)[0]
+    if len(bad):
+        out = out.astype(object)
+        for i in bad.tolist():
+            s, ln = int(starts[i]), int(lengths[i])
+            out[i] = data[s : s + ln].decode("utf-8")
+    return out
 
 
 def gather_fields(
@@ -431,47 +584,15 @@ def gather_fields(
     """Extract ``buffer[starts[i] : starts[i] + lengths[i]]`` as strings.
 
     The selective-read fast path knows every field's byte range from the
-    positional map, so no delimiter scanning happens at all: the fields are
-    gathered out of the read windows with one NumPy fancy-indexing step
-    (a ``(nrows, maxlen)`` gather, padded with NUL and viewed as
-    fixed-width bytes) instead of the tokenizer's per-row Python loop.
+    positional map, so no delimiter scanning happens at all: the fields
+    are gathered out of the read windows by :func:`bulk_extract_fields`
+    instead of a per-row Python loop.
     """
-    n = len(starts)
-    if n == 0:
-        return []
     starts = np.asarray(starts, dtype=np.int64)
     lengths = np.asarray(lengths, dtype=np.int64)
-    if (lengths < 0).any():
-        raise FlatFileError("gather_fields: negative field length")
-    maxlen = int(lengths.max())
-    if maxlen == 0:
-        return [""] * n
-    if maxlen > _GATHER_MAX_FIELD:
-        return [
-            buffer[s : s + n].decode("utf-8")
-            for s, n in zip(starts.tolist(), lengths.tolist())
-        ]
-    buf = np.frombuffer(buffer, dtype=np.uint8)
-    if len(buf) == 0:
-        raise FlatFileError("gather_fields: non-empty fields but empty buffer")
-    offs = np.arange(maxlen, dtype=np.int64)
-    idx = starts[:, None] + offs[None, :]
-    np.clip(idx, 0, max(len(buf) - 1, 0), out=idx)
-    chars = buf[idx]
-    chars[offs[None, :] >= lengths[:, None]] = 0
-    padded = np.ascontiguousarray(chars).view(f"S{maxlen}").ravel()
-    decoded = np.char.decode(padded, "utf-8")
-    # The S-dtype view strips trailing NULs, which would truncate a field
-    # that legitimately ends in NUL bytes; re-slice the (rare) mismatches
-    # directly so the gather is byte-exact versus the full-scan route.
-    bad = np.nonzero(np.char.str_len(decoded) != lengths)[0]
-    if len(bad) == 0:
-        return decoded.tolist()
-    out = decoded.tolist()
-    for i in bad.tolist():
-        s, length = int(starts[i]), int(lengths[i])
-        out[i] = buffer[s : s + length].decode("utf-8")
-    return out
+    if len(starts) == 0:
+        return []
+    return bulk_extract_fields(buffer, starts, lengths).tolist()
 
 
 def split_rows(text: str, delimiter: str = ",") -> list[list[str]]:

@@ -111,6 +111,7 @@ def test_committed_baseline_is_valid():
         "dialects",
         "parallel_scan",
         "selective_read",
+        "tokenize",
     }
     for entry in payload["benches"].values():
         assert entry["metrics"], "every baselined bench gates >= 1 metric"

@@ -29,7 +29,7 @@ class TestFetch:
     def test_fetch_from_original(self, setup):
         catalog, cols = setup
         result = catalog.fetch_columns([1])
-        assert result.fields[1] == expected_text(cols[1])
+        assert list(result.fields[1]) == expected_text(cols[1])
 
     def test_fetch_creates_singles_and_remainder(self, setup):
         catalog, cols = setup
@@ -47,14 +47,14 @@ class TestFetch:
         single = catalog.homes[0].file
         before = single.stats.bytes_read
         result = catalog.fetch_columns([0])
-        assert result.fields[0] == expected_text(cols[0])
+        assert list(result.fields[0]) == expected_text(cols[0])
         assert single.stats.bytes_read - before == single.size_bytes()
 
     def test_fetch_from_remainder_resplits(self, setup):
         catalog, cols = setup
         catalog.fetch_columns([0])  # singles: 0; remainder: 1..4
         result = catalog.fetch_columns([2])
-        assert result.fields[2] == expected_text(cols[2])
+        assert list(result.fields[2]) == expected_text(cols[2])
         assert catalog.homes[1].kind == "single"
         assert catalog.homes[2].kind == "single"
         assert catalog.homes[3].kind == "remainder"
@@ -63,13 +63,13 @@ class TestFetch:
         catalog, cols = setup
         catalog.fetch_columns([1])
         result = catalog.fetch_columns([0, 3])
-        assert result.fields[0] == expected_text(cols[0])
-        assert result.fields[3] == expected_text(cols[3])
+        assert list(result.fields[0]) == expected_text(cols[0])
+        assert list(result.fields[3]) == expected_text(cols[3])
 
     def test_last_column(self, setup):
         catalog, cols = setup
         result = catalog.fetch_columns([4])
-        assert result.fields[4] == expected_text(cols[4])
+        assert list(result.fields[4]) == expected_text(cols[4])
         assert all(h.kind == "single" for h in catalog.homes.values())
 
     def test_out_of_range(self, setup):
@@ -88,7 +88,7 @@ class TestReassembly:
         catalog.fetch_columns([0, 2])
         for i, col in enumerate(cols):
             got = catalog.fetch_columns([i]).fields[i]
-            assert got == expected_text(col), f"column {i} corrupted by splitting"
+            assert list(got) == expected_text(col), f"column {i} corrupted by splitting"
 
 
 class TestAccounting:
@@ -124,7 +124,7 @@ class TestDestroy:
                 assert not p.exists()
         # Still functional after destroy.
         got = catalog.fetch_columns([2]).fields[2]
-        assert got == expected_text(cols[2])
+        assert list(got) == expected_text(cols[2])
 
 
 class TestHeaderedSource:
@@ -138,6 +138,6 @@ class TestHeaderedSource:
             table_key="h",
             skip_rows=1,
         )
-        assert catalog.fetch_columns([1]).fields[1] == ["2", "4"]
+        assert list(catalog.fetch_columns([1]).fields[1]) == ["2", "4"]
         # Singles must not contain the header.
-        assert catalog.fetch_columns([1]).fields[1] == ["2", "4"]
+        assert list(catalog.fetch_columns([1]).fields[1]) == ["2", "4"]

@@ -1,0 +1,411 @@
+"""Vectorized kernel == scalar tokenizer, property-tested.
+
+The bulk-tokenization kernel must be indistinguishable from the scalar
+routes in everything but speed: emitted fields, row ids, *every*
+:class:`TokenizerStats` counter, learned positional-map contents and
+pushdown-predicate evaluation sequences.  These tests drive both routes
+over the same bytes — Hypothesis-generated tables plus handcrafted edge
+cases (ragged rows, blank lines, CRLF, trailing delimiters, non-ASCII,
+NUL bytes, headers) — and diff everything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FlatFileError
+from repro.flatfile.dialects import (
+    DelimitedAdapter,
+    FixedWidthAdapter,
+    TsvAdapter,
+)
+from repro.flatfile.positions import PositionalMap
+from repro.flatfile.tokenizer import tokenize_bytes
+from repro.flatfile.vectorized import tokenize_vectorized
+
+
+def _pmap_state(pmap: PositionalMap):
+    return {
+        "nrows": pmap.nrows,
+        "rows": None if pmap.row_offsets is None else pmap.row_offsets.tolist(),
+        "starts": {c: v.tolist() for c, v in pmap.field_offsets.items()},
+        "ends": {c: v.tolist() for c, v in pmap.field_ends.items()},
+        "geometry": pmap.text_geometry,
+    }
+
+
+def _stats_state(stats):
+    return {
+        "rows_scanned": stats.rows_scanned,
+        "rows_emitted": stats.rows_emitted,
+        "rows_abandoned": stats.rows_abandoned,
+        "fields_tokenized": stats.fields_tokenized,
+        "chars_scanned": stats.chars_scanned,
+    }
+
+
+def assert_routes_agree(
+    data: bytes,
+    adapter,
+    ncols: int,
+    needed,
+    *,
+    early_abort=True,
+    make_predicates=None,
+    skip_rows=0,
+    learn=True,
+):
+    """Run both routes over ``data``; every observable must be identical.
+
+    ``make_predicates`` builds a fresh predicate dict per route (so call
+    logs do not leak between them); returns (result, call_log) pairs.
+    """
+    outcomes = []
+    for vectorized in (True, False):
+        pmap = PositionalMap() if learn else None
+        calls: list[tuple[int, str]] = []
+        predicates = make_predicates(calls) if make_predicates else None
+        try:
+            result = tokenize_bytes(
+                data,
+                adapter,
+                ncols=ncols,
+                needed=needed,
+                early_abort=early_abort,
+                predicates=predicates,
+                positional_map=pmap,
+                learn=learn,
+                skip_rows=skip_rows,
+                vectorized=vectorized,
+            )
+        except FlatFileError:
+            outcomes.append(("error", calls, None))
+            continue
+        outcomes.append(
+            (
+                {
+                    "fields": {
+                        c: [str(v) for v in vals]
+                        for c, vals in result.fields.items()
+                    },
+                    "row_ids": result.row_ids.tolist(),
+                    "stats": _stats_state(result.stats),
+                    "pmap": _pmap_state(pmap) if pmap is not None else None,
+                },
+                calls,
+                result,
+            )
+        )
+    vec, scalar = outcomes
+    assert vec[0] == scalar[0], f"vectorized != scalar for {data!r}"
+    assert vec[1] == scalar[1], f"predicate call sequences differ for {data!r}"
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: random tables in every eligible dialect
+# ---------------------------------------------------------------------------
+
+_FIELD_TEXT = st.text(
+    alphabet="abz059. -éßあ\t\\\"'",
+    max_size=6,
+)
+
+
+def _csv_safe(value: str, delimiter: str) -> str:
+    out = value.replace(delimiter, "_").replace("\t", "_")
+    return out.replace("\n", "_").replace("\r", "_")
+
+
+@st.composite
+def delimited_files(draw):
+    ncols = draw(st.integers(1, 5))
+    nrows = draw(st.integers(0, 8))
+    delimiter = draw(st.sampled_from([",", ";", "|"]))
+    rows = [
+        [
+            _csv_safe(draw(_FIELD_TEXT), delimiter)
+            for _ in range(ncols)
+        ]
+        for _ in range(nrows)
+    ]
+    # Ragged mutations: drop or duplicate a field in some rows.
+    for i in range(nrows):
+        if draw(st.booleans()) and draw(st.integers(0, 9)) == 0:
+            if rows[i] and draw(st.booleans()):
+                rows[i] = rows[i][:-1]
+            else:
+                rows[i] = rows[i] + ["x"]
+    line_end = draw(st.sampled_from(["\n", "\r\n"]))
+    lines = [delimiter.join(r) for r in rows]
+    # Inject blank lines.
+    if draw(st.booleans()):
+        lines.insert(draw(st.integers(0, len(lines))), "")
+    text = line_end.join(lines)
+    if lines and draw(st.booleans()):
+        text += line_end
+    needed = sorted(
+        draw(
+            st.sets(
+                st.integers(0, ncols - 1), min_size=1, max_size=min(3, ncols)
+            )
+        )
+    )
+    return text.encode("utf-8"), delimiter, ncols, needed
+
+
+@settings(max_examples=120, deadline=None)
+@given(case=delimited_files(), early_abort=st.booleans())
+def test_delimited_vectorized_equals_scalar(case, early_abort):
+    data, delimiter, ncols, needed = case
+    assert_routes_agree(
+        data,
+        DelimitedAdapter(delimiter),
+        ncols,
+        needed,
+        early_abort=early_abort,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=delimited_files())
+def test_delimited_with_pushdown_predicates(case):
+    data, delimiter, ncols, needed = case
+
+    def make_predicates(calls):
+        def pred(value: str) -> bool:
+            calls.append((0, value))
+            return len(value) % 2 == 0
+
+        return {0: pred} if 0 in needed else {}
+
+    assert_routes_agree(
+        data,
+        DelimitedAdapter(delimiter),
+        ncols,
+        needed,
+        make_predicates=make_predicates,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(
+        st.lists(_FIELD_TEXT, min_size=3, max_size=3), min_size=0, max_size=8
+    ),
+    early_abort=st.booleans(),
+)
+def test_tsv_vectorized_equals_scalar(rows, early_abort):
+    adapter = TsvAdapter()
+    text = "".join(adapter.encode_row(r) + "\n" for r in rows)
+    assert_routes_agree(
+        text.encode("utf-8"), adapter, 3, [0, 2], early_abort=early_abort
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(
+        st.lists(
+            st.text(alphabet="abz059.x", max_size=4),
+            min_size=3,
+            max_size=3,
+        ),
+        min_size=0,
+        max_size=8,
+    ),
+    needed=st.sets(st.integers(0, 2), min_size=1, max_size=3),
+)
+def test_fixed_width_vectorized_equals_scalar(rows, needed):
+    adapter = FixedWidthAdapter((5, 5, 5))
+    text = "".join(adapter.encode_row(r) + "\n" for r in rows)
+    assert_routes_agree(
+        text.encode("utf-8"), adapter, 3, sorted(needed)
+    )
+
+
+# ---------------------------------------------------------------------------
+# handcrafted edges
+# ---------------------------------------------------------------------------
+
+CSV = DelimitedAdapter(",")
+
+
+class TestEdgeCases:
+    def test_trailing_delimiter_means_empty_last_field(self):
+        out = assert_routes_agree(b"1,2,\n3,4,\n", CSV, 3, [2])
+        assert out[0][0]["fields"][2] == ["", ""]
+
+    def test_blank_lines_and_crlf(self):
+        assert_routes_agree(b"1,2\r\n\r\n3,4\r\n\n5,6", CSV, 2, [0, 1])
+
+    def test_header_skip(self):
+        out = assert_routes_agree(b"h1,h2\n1,2\n3,4\n", CSV, 2, [0], skip_rows=1)
+        assert out[0][0]["fields"][0] == ["1", "3"]
+
+    def test_non_ascii_content_offsets_and_values(self):
+        data = "é,ab\nあ素,ß\n".encode("utf-8")
+        out = assert_routes_agree(data, CSV, 2, [0, 1])
+        assert out[0][0]["fields"][0] == ["é", "あ素"]
+        # Learned offsets are character offsets into the decoded text
+        # ("あ素,ß" starts at char 5; its second field at char 8).
+        assert out[0][0]["pmap"]["starts"][1] == [2, 8]
+
+    def test_nul_bytes_inside_and_trailing_fields(self):
+        data = b"a\x00,b\n\x00\x00,c\nd\x00x,e\n"
+        out = assert_routes_agree(data, CSV, 2, [0, 1])
+        assert out[0][0]["fields"][0] == ["a\x00", "\x00\x00", "d\x00x"]
+
+    def test_ragged_rows_raise_identically(self):
+        assert_routes_agree(b"1,2,3\n1\n", CSV, 3, [2])
+
+    def test_ragged_only_beyond_needed_is_tolerated(self):
+        # A short row to the *right* of the last needed column is invisible
+        # to the scalar early-abort pass; the kernel must agree (it falls
+        # back to the scalar route on any ragged row).
+        out = assert_routes_agree(b"1,2,3,4\n5,6\n", CSV, 4, [0])
+        assert out[0][0]["fields"][0] == ["1", "5"]
+
+    def test_empty_file(self):
+        assert_routes_agree(b"", CSV, 3, [1])
+
+    def test_single_column_no_delimiters(self):
+        out = assert_routes_agree(b"10\n20\n30\n", CSV, 1, [0])
+        assert out[0][0]["fields"][0] == ["10", "20", "30"]
+
+    def test_wide_fields_take_slice_path(self):
+        wide = "9" * 700
+        data = f"{wide},1\n{wide},2\n".encode()
+        out = assert_routes_agree(data, CSV, 2, [0, 1])
+        assert out[0][0]["fields"][0] == [wide, wide]
+
+    def test_tsv_escapes_decoded(self):
+        adapter = TsvAdapter()
+        row = adapter.encode_row(["a\tb", "c\\d", "e\nf"])
+        out = assert_routes_agree((row + "\n").encode(), adapter, 3, [0, 1, 2])
+        assert out[0][0]["fields"][0] == ["a\tb"]
+        assert out[0][0]["fields"][1] == ["c\\d"]
+        assert out[0][0]["fields"][2] == ["e\nf"]
+
+    def test_fixed_width_padding_stripped(self):
+        adapter = FixedWidthAdapter((4, 4))
+        out = assert_routes_agree(b"ab  cd  \nefgha   \n", adapter, 2, [0, 1])
+        assert out[0][0]["fields"][0] == ["ab", "efgh"]
+        assert out[0][0]["fields"][1] == ["cd", "a"]
+
+    def test_fixed_width_bad_row_raises_identically(self):
+        assert_routes_agree(b"ab  cd  \nefg\n", FixedWidthAdapter((4, 4)), 2, [0])
+
+    def test_fixed_width_nul_fields_with_predicate(self):
+        """NUL-trailing fields force object-dtype batches; predicate
+        filtering must still index them as arrays (regression: the
+        decode_many fallback once returned a list here)."""
+        adapter = FixedWidthAdapter((3, 3))
+
+        def make_predicates(calls):
+            def pred(v):
+                calls.append((0, v))
+                return v.startswith("c")
+
+            return {0: pred}
+
+        out = assert_routes_agree(
+            b"ab\x00xyz\ncd qqq\nef rrr\n",
+            adapter,
+            2,
+            [0, 1],
+            make_predicates=make_predicates,
+        )
+        assert out[0][0]["fields"][1] == ["qqq"]
+
+    def test_fixed_width_non_ascii_falls_back(self):
+        adapter = FixedWidthAdapter((3, 3))
+        data = "éa bc \nxy z  \n".encode("utf-8")
+        out = assert_routes_agree(data, adapter, 2, [0, 1])
+        assert out[0][0]["fields"][0] == ["éa", "xy"]
+
+
+class TestKernelDeclines:
+    def test_declines_when_map_offers_anchors(self):
+        """Scalar anchor jumps charge less work; the kernel steps aside."""
+        data = b"1,2,3\n4,5,6\n"
+        pmap = PositionalMap()
+        tokenize_bytes(data, CSV, 3, [1], positional_map=pmap)
+        assert pmap.knows_column(1)
+        assert (
+            tokenize_vectorized(data, CSV, 3, [2], positional_map=pmap)
+            is None
+        )
+
+    def test_declines_on_ragged_rows(self):
+        assert tokenize_vectorized(b"1,2\n3\n", CSV, 2, [0]) is None
+
+    def test_declines_on_non_ascii_delimiter(self):
+        assert (
+            tokenize_vectorized("1é2\n".encode(), DelimitedAdapter("é"), 2, [0])
+            is None
+        )
+
+    def test_declines_on_invalid_utf8(self):
+        """Both routes must raise the scalar decode error — the kernel
+        must not silently tokenize bytes no decoded string ever had."""
+        data = b"1,a\xe9b,3\n4,x,6\n"  # lone latin-1 byte: invalid UTF-8
+        assert tokenize_vectorized(data, CSV, 3, [0]) is None
+        for vectorized in (True, False):
+            with pytest.raises(UnicodeDecodeError):
+                tokenize_bytes(data, CSV, 3, [0], vectorized=vectorized)
+
+    def test_runs_on_regular_input(self):
+        result = tokenize_vectorized(b"1,2\n3,4\n", CSV, 2, [1])
+        assert result is not None
+        assert [str(v) for v in result.fields[1]] == ["2", "4"]
+
+
+class TestValidationParity:
+    def test_bad_ncols(self):
+        with pytest.raises(FlatFileError):
+            tokenize_vectorized(b"1\n", CSV, 0, [0])
+
+    def test_no_needed(self):
+        with pytest.raises(FlatFileError):
+            tokenize_vectorized(b"1\n", CSV, 2, [])
+
+    def test_out_of_range(self):
+        with pytest.raises(FlatFileError):
+            tokenize_vectorized(b"1,2\n", CSV, 2, [2])
+
+    def test_predicate_on_untokenized_column(self):
+        with pytest.raises(FlatFileError):
+            tokenize_vectorized(
+                b"1,2\n", CSV, 2, [0], predicates={1: lambda s: True}
+            )
+
+
+class TestBulkLearning:
+    def test_absorb_offsets_matches_scalar_learning(self):
+        data = b"10,20,30\n11,21,31\n"
+        vec_map, scalar_map = PositionalMap(), PositionalMap()
+        tokenize_bytes(data, CSV, 3, [2], positional_map=vec_map)
+        tokenize_bytes(
+            data, CSV, 3, [2], positional_map=scalar_map, vectorized=False
+        )
+        assert _pmap_state(vec_map) == _pmap_state(scalar_map)
+        assert vec_map.can_slice(0) and vec_map.can_slice(2)
+
+    def test_absorb_offsets_rejects_mismatched_lengths(self):
+        pmap = PositionalMap()
+        with pytest.raises(ValueError):
+            pmap.absorb_offsets([0, 1], [np.zeros(2, dtype=np.int64)], [])
+
+    def test_first_writer_wins(self):
+        pmap = PositionalMap()
+        pmap.record_field_offsets(
+            0, np.array([7], dtype=np.int64), np.array([9], dtype=np.int64)
+        )
+        pmap.absorb_offsets(
+            [0], [np.array([0], dtype=np.int64)], [np.array([1], dtype=np.int64)]
+        )
+        assert pmap.field_offsets[0].tolist() == [7]

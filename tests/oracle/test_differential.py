@@ -51,6 +51,31 @@ def test_every_policy_matches_oracle(dialect, columns):
             )
 
 
+@pytest.mark.parametrize("dialect", ("csv", "tsv", "fixed-width"))
+def test_every_policy_matches_oracle_with_kernel_forced_off(dialect, tmp_path):
+    """Scalar-tokenizer ablation: ``vectorized_tokenizer=False`` for every
+    policy must still equal the oracle — and equal the kernel route.
+
+    This keeps the scalar path (the fallback for ragged/anchored text and
+    the reference the vectorized differential suite diffs against) under
+    the same end-to-end oracle as the default configuration.
+    """
+    columns = _seeded_table(nrows=150, ncols=3)
+    path, kwargs = render_table(tmp_path, columns, dialect)
+    queries = make_workload(columns, bounds=(40, 360))
+    expected = oracle_results(path, kwargs, queries)
+    for policy in POLICIES:
+        compare_engine_to_oracle(
+            path,
+            kwargs,
+            queries,
+            expected,
+            policy,
+            label=f"{dialect} scalar-tokenizer",
+            vectorized_tokenizer=False,
+        )
+
+
 @settings(max_examples=6)
 @given(columns=tables())
 def test_dialects_agree_with_each_other(columns):
