@@ -111,6 +111,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
         f"(default: {EngineConfig.max_cached_results})",
     )
     parser.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="root of the persistent adaptive store: learned state "
+        "(positional maps, schemas, loaded columns) is cached here, "
+        "keyed by each file's content fingerprint, and restored "
+        "restart-warm by later invocations pointing at the same DIR",
+    )
+    parser.add_argument(
+        "--no-persistent-store",
+        dest="persistent_store",
+        action="store_false",
+        help="ignore --store-dir: neither restore from nor write to "
+        "the persistent adaptive store",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print per-query work counters after each result",
@@ -173,11 +190,58 @@ def run_shell(engine, raw_engine: NoDBEngine, show_stats: bool, stdin, stdout) -
     return 0
 
 
+def run_cache_command(argv: list[str], stdout, stderr) -> int:
+    """``repro cache {list,clear} --store-dir DIR``: inspect/clear the
+    persistent adaptive store without attaching anything."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or clear the persistent adaptive store.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    for action, blurb in (
+        ("list", "print one line per cached entry"),
+        ("clear", "delete every cached entry"),
+    ):
+        p = sub.add_parser(action, help=blurb)
+        p.add_argument(
+            "--store-dir",
+            type=Path,
+            required=True,
+            metavar="DIR",
+            help="root of the persistent adaptive store",
+        )
+    args = parser.parse_args(argv)
+
+    from repro.storage.persistent import PersistentStore
+
+    store = PersistentStore(args.store_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'}", file=stdout)
+        return 0
+    entries = store.entries()
+    if not entries:
+        print("(store is empty)", file=stdout)
+        return 0
+    for e in entries:
+        print(
+            f"{e['source']}  rows={e['nrows']}  "
+            f"columns={','.join(e['columns']) or '-'}  "
+            f"posmap={len(e['positional_map_columns'])} cols  "
+            f"{e['bytes_on_disk']:,} bytes  ({e['dir']})",
+            file=stdout,
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None, stdin=None, stdout=None, stderr=None) -> int:
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     stderr = stderr if stderr is not None else sys.stderr
-    args = build_arg_parser().parse_args(argv)
+    raw_argv = list(sys.argv[1:] if argv is None else argv)
+    if raw_argv[:1] == ["cache"]:
+        return run_cache_command(raw_argv[1:], stdout, stderr)
+    args = build_arg_parser().parse_args(raw_argv)
 
     # `sql files...` vs `--shell files...`: with --shell the positional
     # `sql` slot actually holds the first file.
@@ -201,6 +265,8 @@ def main(argv: list[str] | None = None, stdin=None, stdout=None, stderr=None) ->
             vectorized_tokenizer=args.vectorized_tokenizer,
             result_cache=args.result_cache,
             max_cached_results=args.max_cached_results,
+            store_dir=args.store_dir,
+            persistent_store=args.persistent_store,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=stderr)

@@ -113,6 +113,20 @@ class EngineConfig:
     binary_write_bandwidth / binary_read_bandwidth:
         Optional simulated disk bandwidth for the binary store
         (bytes/second), used by the Figure 1a memory-wall simulation.
+    store_dir:
+        Root of the **persistent adaptive store**: a fingerprint-keyed
+        on-disk cache of learned state (positional maps, partition
+        plans, widened schemas, fully loaded columns).  A fresh engine
+        pointed at a warm ``store_dir`` restores a table restart-warm —
+        numeric columns come back as shared read-only ``np.memmap``
+        arrays — instead of re-paying the cold scan; entries are written
+        off the query path after a cold load and invalidated whenever
+        the source file's fingerprint changes.  ``None`` (default)
+        disables persistence.
+    persistent_store:
+        Master switch for the persistent adaptive store; with ``False``
+        a configured ``store_dir`` is ignored (the ``--no-persistent-
+        store`` CLI escape hatch).
     result_cache:
         Cache completed query results keyed by (normalized statement,
         file signature) and serve byte-identical repeats without loading
@@ -151,6 +165,8 @@ class EngineConfig:
     binary_store_dir: Path | None = None
     binary_write_bandwidth: float | None = None
     binary_read_bandwidth: float | None = None
+    store_dir: Path | None = None
+    persistent_store: bool = True
     result_cache: bool = False
     max_cached_results: int = 256
     global_lock: bool = False
@@ -180,6 +196,8 @@ class EngineConfig:
             raise ValueError("persist_loads requires binary_store_dir")
         if self.binary_store_dir is not None:
             self.binary_store_dir = Path(self.binary_store_dir)
+        if self.store_dir is not None:
+            self.store_dir = Path(self.store_dir)
 
     def resolved_parallel_workers(self) -> int:
         """The effective worker count (``0`` resolves to the CPU count)."""

@@ -44,7 +44,8 @@ engine"); this engine replaces that global lock with three layers:
 from __future__ import annotations
 
 import threading
-from contextlib import nullcontext
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import nullcontext, suppress
 from pathlib import Path
 
 from repro.config import EngineConfig
@@ -60,9 +61,13 @@ from repro.sql.ast_nodes import SelectStmt
 from repro.sql.binder import BoundQuery, bind
 from repro.sql.parser import parse_sql
 from repro.execution.executor import execute_bound_query
+from repro.flatfile.files import FileFingerprint
+from repro.flatfile.schema import ColumnSchema, DataType, TableSchema
 from repro.storage.binarystore import BinaryStore
 from repro.storage.catalog import Catalog, TableEntry
 from repro.storage.memory import MemoryManager
+from repro.storage.persistent import PersistedState, PersistentStore
+from repro.storage.table import Table
 
 
 class NoDBEngine:
@@ -104,6 +109,18 @@ class NoDBEngine:
                 write_bandwidth_bytes_per_sec=self.config.binary_write_bandwidth,
                 read_bandwidth_bytes_per_sec=self.config.binary_read_bandwidth,
             )
+        # The persistent adaptive store: learned state (positional maps,
+        # partition plans, widened schemas, fully loaded columns) that
+        # survives restarts, keyed by the source file's fingerprint.
+        # Writes happen off the query path on a single background thread.
+        self.persistent_store: PersistentStore | None = None
+        self._persist_pool: ThreadPoolExecutor | None = None
+        self._persist_lock = threading.Lock()
+        self._persist_futures: list[Future] = []
+        #: path -> last-persisted state token; skips no-op re-persists.
+        self._persisted_tokens: dict[str, tuple] = {}
+        if self.config.store_dir is not None and self.config.persistent_store:
+            self.persistent_store = PersistentStore(self.config.store_dir)
 
     # ----------------------------------------------------------- attaching
 
@@ -462,6 +479,13 @@ class NoDBEngine:
                     # stamping it after the read (ensure_table's default)
                     # would brand old bytes with the new file's identity.
                     pre_fingerprint = self._check_stale(entry)
+                    # Restart-warm path: before scheduling a cold scan,
+                    # consult the persistent store; a fingerprint-valid
+                    # entry restores the positional map, partition plan,
+                    # widened schema and mmapped columns in one step and
+                    # the warm probe below then serves from them.
+                    if self.persistent_store is not None and entry.table is None:
+                        self._restore_persistent(entry, pre_fingerprint)
                     ctx = self._make_ctx(
                         entry, needed, condition, qstats, policy_name, for_load=True
                     )
@@ -487,6 +511,7 @@ class NoDBEngine:
                             # inside the lock): warm in substance, and a
                             # follower that waited still counts as reuse.
                             self._count_warm(qstats, waited)
+                        self._schedule_persist(entry, pre_fingerprint)
                         return view
                     finally:
                         self.memory.unpin_many(ctx.pinned_keys)
@@ -593,6 +618,148 @@ class NoDBEngine:
                 total_bytes += split.io_bytes_read()
         return total_bytes, total_reads
 
+    # ----------------------------------------------------- persistent store
+
+    def _restore_persistent(
+        self, entry: TableEntry, fingerprint: FileFingerprint
+    ) -> bool:
+        """Restore a cold table from the persistent store (write lock held).
+
+        The restored state is branded with ``fingerprint`` — captured
+        from the live file *before* this read, the same rule cold loads
+        follow — so a file replaced mid-restore mismatches on the next
+        query.  A fingerprint-stale persisted entry is deleted and
+        counted, and the scan proceeds cold.
+        """
+        outcome = self.persistent_store.load(entry.file.path, fingerprint)
+        if outcome.invalidated:
+            self.stats.count("store_invalidations")
+        state = outcome.state
+        if state is None or state.nrows <= 0:
+            return False
+        # Adopt the persisted (possibly widened) schema wholesale: it was
+        # inferred — and widened — from exactly the bytes the fingerprint
+        # vouches for.
+        entry.schema = TableSchema(
+            [ColumnSchema(n, DataType(d)) for n, d in state.schema]
+        )
+        entry.has_header = state.has_header
+        entry.table = Table(entry.name, entry.schema, state.nrows)
+        entry.positional_map = state.positional_map
+        entry.partitions = state.partitions
+        entry.loaded_fingerprint = fingerprint
+        for name, values in state.columns.items():
+            pc = entry.table.column(name)
+            pc.restore_full(values)
+            key = (entry.table.name, pc.name)
+
+            def dropper(pc=pc):
+                pc.drop()
+
+            self.memory.register(
+                key, pc.logical_nbytes, dropper, mapped=pc.is_mapped
+            )
+        # What we just restored is exactly what a re-persist would write.
+        with self._persist_lock:
+            self._persisted_tokens[str(entry.file.path)] = self._persist_token(
+                entry, fingerprint
+            )
+        self.stats.count("restart_warm_hits")
+        return True
+
+    @staticmethod
+    def _persist_token(entry: TableEntry, fingerprint: FileFingerprint) -> tuple:
+        """What a persist of ``entry`` right now would write (write/read
+        lock held): used to skip writes that would change nothing."""
+        pm = entry.positional_map
+        loaded: frozenset = frozenset()
+        if entry.table is not None:
+            loaded = frozenset(
+                pc.name
+                for pc in entry.table.columns.values()
+                if pc.values is not None and pc.is_fully_loaded
+            )
+        return (
+            fingerprint,
+            loaded,
+            frozenset(c for c in pm.field_offsets if c in pm.field_ends),
+            pm.row_offsets is not None,
+            entry.partitions is not None,
+        )
+
+    def _schedule_persist(
+        self, entry: TableEntry, fingerprint: FileFingerprint
+    ) -> None:
+        """Queue a crash-safe store write (off the query path).
+
+        Called at the end of a cold provision while the table write lock
+        is still held; the single writer thread snapshots the entry under
+        the read lock and re-validates the fingerprint, so a table
+        invalidated between scheduling and writing is simply skipped.
+        """
+        if (
+            self.persistent_store is None
+            or entry.table is None
+            or entry.detached
+        ):
+            return
+        key = str(entry.file.path)
+        token = self._persist_token(entry, fingerprint)
+        with self._persist_lock:
+            if self._persisted_tokens.get(key) == token:
+                return
+            self._persisted_tokens[key] = token
+            if self._persist_pool is None:
+                self._persist_pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-persist"
+                )
+            self._persist_futures.append(
+                self._persist_pool.submit(
+                    self._persist_entry, entry, fingerprint, key, token
+                )
+            )
+
+    def _persist_entry(
+        self,
+        entry: TableEntry,
+        fingerprint: FileFingerprint,
+        key: str,
+        token: tuple,
+    ) -> None:
+        """Writer-thread body: snapshot under the read lock, write outside."""
+        try:
+            with entry.rwlock.read_locked():
+                if (
+                    entry.detached
+                    or entry.table is None
+                    or entry.loaded_fingerprint != fingerprint
+                ):
+                    return
+                state = PersistedState.from_entry(entry, fingerprint)
+            self.persistent_store.save(state)
+            self.stats.count("persist_writes")
+        except BaseException:
+            # Let a later load retry what this write failed to record.
+            with self._persist_lock:
+                if self._persisted_tokens.get(key) == token:
+                    del self._persisted_tokens[key]
+            raise
+
+    def flush_persistent_store(self) -> None:
+        """Block until every scheduled store write has landed.
+
+        Re-raises writer-thread failures; used by tests, benches and
+        anything simulating a restart hand-off to a new engine.
+        """
+        while True:
+            with self._persist_lock:
+                futures = self._persist_futures
+                self._persist_futures = []
+            if not futures:
+                return
+            for f in futures:
+                f.result()
+
     # --------------------------------------------------------- invalidation
 
     @staticmethod
@@ -638,11 +805,27 @@ class NoDBEngine:
             self.binary_store.drop_table(entry.name)
         if self.result_cache is not None:
             self.result_cache.invalidate_table(entry.name.lower())
+        if self.persistent_store is not None:
+            with self._persist_lock:
+                self._persisted_tokens.pop(str(entry.file.path), None)
+            if self.persistent_store.invalidate(entry.file.path):
+                self.stats.count("store_invalidations")
 
     # -------------------------------------------------------------- cleanup
 
     def close(self) -> None:
-        """Release split-file scratch space."""
+        """Release split-file scratch space and drain the persist writer.
+
+        The persistent store itself is durable state and survives close —
+        that is the point — but in-flight writes are allowed to land so a
+        follow-up engine sees them (writer errors are swallowed here; use
+        :meth:`flush_persistent_store` to observe them)."""
+        with suppress(Exception):
+            self.flush_persistent_store()
+        with self._persist_lock:
+            pool, self._persist_pool = self._persist_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         with self._lock:
             entries = list(self.catalog.entries.values())
         for entry in entries:

@@ -114,6 +114,33 @@ class PartitionIndex:
     def __len__(self) -> int:
         return len(self.partitions)
 
+    def as_manifest(self) -> dict:
+        """JSON-serializable form, for the persistent store's manifests.
+
+        Probe counters are I/O *history*, not plan state, and are not
+        carried: a restored plan cost the restoring engine zero probes.
+        """
+        return {
+            "requested": self.requested,
+            "file_size": self.file_size,
+            "parts": [
+                [p.index, p.byte_start, p.byte_end, p.skip_rows]
+                for p in self.partitions
+            ],
+        }
+
+    @classmethod
+    def from_manifest(cls, data: dict) -> "PartitionIndex":
+        """Inverse of :meth:`as_manifest` (raises on malformed input)."""
+        return cls(
+            partitions=[
+                Partition(int(i), int(start), int(end), int(skip))
+                for i, start, end, skip in data["parts"]
+            ],
+            requested=int(data["requested"]),
+            file_size=int(data["file_size"]),
+        )
+
 
 def plan_partitions(
     path, size: int, nparts: int, skip_rows: int = 0

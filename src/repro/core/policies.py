@@ -217,8 +217,11 @@ def _register(ctx: LoadContext, table: Table, column_name: str) -> None:
 
     # Pinned for the duration of the current query (the engine releases the
     # context's pins after the views are built) so a query cannot evict its
-    # own data.
-    ctx.memory.register(key, pc.logical_nbytes, dropper, pinned=True)
+    # own data.  ``mapped`` tracks whether the column is (still) backed by
+    # a persistent-store memmap rather than heap bytes.
+    ctx.memory.register(
+        key, pc.logical_nbytes, dropper, pinned=True, mapped=pc.is_mapped
+    )
     ctx.pinned_keys.append(key)
 
 

@@ -86,6 +86,13 @@ class ConcurrencyCounters:
     shared_scan_reuses: int = 0
     #: Table view whose provision ran a raw-file load (flight leader).
     shared_scan_loads: int = 0
+    #: Entries written to the persistent store (off the query path).
+    persist_writes: int = 0
+    #: Cold tables restored from the persistent store instead of scanned.
+    restart_warm_hits: int = 0
+    #: Persisted entries deleted because their fingerprint mismatched the
+    #: live file (staleness) or the in-memory table was invalidated.
+    store_invalidations: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -94,6 +101,9 @@ class ConcurrencyCounters:
             "warm_hits": self.warm_hits,
             "shared_scan_reuses": self.shared_scan_reuses,
             "shared_scan_loads": self.shared_scan_loads,
+            "persist_writes": self.persist_writes,
+            "restart_warm_hits": self.restart_warm_hits,
+            "store_invalidations": self.store_invalidations,
         }
 
 

@@ -73,6 +73,55 @@ def group_ids(keys: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray, list[np.n
     return order, starts, key_values
 
 
+def _segmented_aggregate(
+    func: str,
+    sorted_vals: np.ndarray,
+    starts: np.ndarray,
+    n: int,
+    distinct: bool,
+) -> np.ndarray:
+    """DISTINCT / string aggregation without per-group Python loops.
+
+    Rows are re-sorted by (group, value) — a stable value sort chased by a
+    stable group sort — so every group's values form a contiguous ascending
+    run.  Duplicates then collapse with one shifted comparison, and each
+    aggregate reduces over run boundaries (``reduceat`` / first / last).
+    """
+    ngroups = len(starts)
+    sizes = np.diff(np.append(starts, n))
+    gids = np.repeat(np.arange(ngroups, dtype=np.int64), sizes)
+    by_value = np.argsort(sorted_vals, kind="stable")
+    by_group = by_value[np.argsort(gids[by_value], kind="stable")]
+    vals = sorted_vals[by_group]
+    g = gids[by_group]
+    if distinct and n > 1:
+        same = (g[1:] == g[:-1]) & (vals[1:] == vals[:-1])
+        if np.issubdtype(vals.dtype, np.floating):
+            # np.unique collapses NaNs within a group; `nan != nan` would
+            # keep them all, so match that explicitly.
+            same |= (g[1:] == g[:-1]) & np.isnan(vals[1:]) & np.isnan(vals[:-1])
+        keep = np.empty(n, dtype=bool)
+        keep[0] = True
+        keep[1:] = ~same
+        vals = vals[keep]
+        g = g[keep]
+    # Every group is non-empty, so run starts are wherever g steps.
+    run_starts = np.nonzero(np.r_[True, g[1:] != g[:-1]])[0]
+    counts = np.diff(np.append(run_starts, len(vals)))
+    if func == "count":
+        return counts.astype(np.int64)
+    if func == "sum":
+        return np.add.reduceat(vals, run_starts)
+    if func == "min":
+        return vals[run_starts]
+    if func == "max":
+        return vals[np.append(run_starts[1:], len(vals)) - 1]
+    if func == "avg":
+        sums = np.add.reduceat(vals.astype(np.float64), run_starts)
+        return sums / counts
+    raise ExecutionError(f"unknown aggregate {func!r}")
+
+
 def grouped_aggregate(
     func: str,
     values: np.ndarray | None,
@@ -94,26 +143,7 @@ def grouped_aggregate(
     if sorted_vals.dtype == object and func in ("sum", "avg"):
         raise ExecutionError(f"{func}() over a string column is not defined")
     if distinct or sorted_vals.dtype == object:
-        # Fallback: segment-wise Python reduction (strings / DISTINCT).
-        ends = np.append(starts[1:], n)
-        out = []
-        for s, e in zip(starts, ends):
-            seg = sorted_vals[s:e]
-            if distinct:
-                seg = np.unique(seg)
-            if func == "count":
-                out.append(len(seg))
-            elif func == "sum":
-                out.append(seg.sum())
-            elif func == "min":
-                out.append(min(seg))
-            elif func == "max":
-                out.append(max(seg))
-            elif func == "avg":
-                out.append(float(np.mean(seg)))
-            else:
-                raise ExecutionError(f"unknown aggregate {func!r}")
-        return np.array(out)
+        return _segmented_aggregate(func, sorted_vals, starts, n, distinct)
     if func == "count":
         return np.diff(np.append(starts, n)).astype(np.int64)
     if func == "sum":

@@ -3,15 +3,22 @@
 Two implementations, matching the pair the paper benchmarks in section 2.2
 (hash join vs sort+merge join in Awk, versus the DBMS's joins):
 
-* :func:`hash_join` — build a hash table on the smaller side, probe with
-  the larger; the engine's default.
+* :func:`hash_join` — match through one sorted side, probe with the
+  larger; the engine's default.
 * :func:`merge_join` — sort both key columns, merge; kept both for the
   baseline comparison and because the adaptive kernel (section 5.2) wants
   multiple strategies to choose from.
 
 Both return ``(left_indices, right_indices)`` selection vectors, so callers
 reconstruct whatever payload columns they need — pure column-at-a-time
-style.
+style.  Both are fully vectorized: one ``argsort`` of the smaller side,
+two ``searchsorted`` sweeps to find each probe key's run of equal build
+keys, and repeat arithmetic to expand duplicate runs into the full cross
+product without a Python loop.
+
+Equality semantics: a string column never equi-matches a numeric column
+(SQL would cast; the engine's predicates treat them as disjoint), and NaN
+matches nothing — not even another NaN.
 """
 
 from __future__ import annotations
@@ -20,6 +27,43 @@ import numpy as np
 
 from repro.errors import ExecutionError
 
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _equi_match(
+    outer_keys: np.ndarray, inner_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All index pairs ``(i, j)`` with ``outer_keys[i] == inner_keys[j]``.
+
+    Sorts the *inner* side once; each outer key's run of equal inner keys
+    is then ``[lo, hi)`` from two binary searches, and duplicate runs are
+    expanded with ``np.repeat`` arithmetic (full cross product, per SQL).
+    """
+    inner_order = np.argsort(inner_keys, kind="stable")
+    sorted_inner = inner_keys[inner_order]
+    lo = np.searchsorted(sorted_inner, outer_keys, side="left")
+    hi = np.searchsorted(sorted_inner, outer_keys, side="right")
+    counts = hi - lo
+    if np.issubdtype(outer_keys.dtype, np.floating):
+        # numpy's sort order treats NaN == NaN; SQL equality does not.
+        counts = np.where(np.isnan(outer_keys), 0, counts)
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY
+    outer_idx = np.repeat(
+        np.arange(len(outer_keys), dtype=np.int64), counts
+    )
+    run_starts = np.repeat(lo, counts)
+    run_base = np.repeat(np.cumsum(counts) - counts, counts)
+    within_run = np.arange(total, dtype=np.int64) - run_base
+    inner_idx = inner_order[run_starts + within_run].astype(np.int64)
+    return outer_idx, inner_idx
+
+
+def _incomparable(left_keys: np.ndarray, right_keys: np.ndarray) -> bool:
+    """True when one side is strings and the other numbers: no matches."""
+    return (left_keys.dtype == object) != (right_keys.dtype == object)
+
 
 def hash_join(
     left_keys: np.ndarray, right_keys: np.ndarray
@@ -27,26 +71,17 @@ def hash_join(
     """Inner equi-join; returns matching index pairs (all matches).
 
     Duplicates on either side produce the full cross product of matches,
-    per SQL semantics.
+    per SQL semantics.  The smaller side plays the "build" role — it is
+    the one sorted — and the larger side probes it.
     """
     if len(left_keys) == 0 or len(right_keys) == 0:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-    # Build on the smaller side.
-    swap = len(right_keys) < len(left_keys)
-    build_keys, probe_keys = (left_keys, right_keys) if not swap else (right_keys, left_keys)
-    table: dict = {}
-    for i, k in enumerate(build_keys.tolist()):
-        table.setdefault(k, []).append(i)
-    build_idx: list[int] = []
-    probe_idx: list[int] = []
-    for j, k in enumerate(probe_keys.tolist()):
-        hits = table.get(k)
-        if hits is not None:
-            build_idx.extend(hits)
-            probe_idx.extend([j] * len(hits))
-    b = np.asarray(build_idx, dtype=np.int64)
-    p = np.asarray(probe_idx, dtype=np.int64)
-    return (b, p) if not swap else (p, b)
+        return _EMPTY, _EMPTY
+    if _incomparable(left_keys, right_keys):
+        return _EMPTY, _EMPTY
+    if len(right_keys) <= len(left_keys):
+        return _equi_match(left_keys, right_keys)
+    right_idx, left_idx = _equi_match(right_keys, left_keys)
+    return left_idx, right_idx
 
 
 def hash_join_unique(
@@ -54,14 +89,14 @@ def hash_join_unique(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Vectorized join for unique keys on the right side.
 
-    ``np.searchsorted`` over the sorted right side replaces the Python
-    hash table; used automatically when the engine knows the build side is
-    duplicate-free (the paper's 1-to-1 join experiment).
+    ``np.searchsorted`` over the sorted right side replaces the run
+    expansion entirely; used automatically when the engine knows the build
+    side is duplicate-free (the paper's 1-to-1 join experiment).
     """
     if len(np.unique(right_keys)) != len(right_keys):
         raise ExecutionError("hash_join_unique requires unique right keys")
     if len(left_keys) == 0 or len(right_keys) == 0:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return _EMPTY, _EMPTY
     order = np.argsort(right_keys, kind="stable")
     sorted_right = right_keys[order]
     pos = np.searchsorted(sorted_right, left_keys)
@@ -75,32 +110,17 @@ def hash_join_unique(
 def merge_join(
     left_keys: np.ndarray, right_keys: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Sort-merge inner equi-join with full duplicate handling."""
+    """Sort-merge inner equi-join with full duplicate handling.
+
+    Both sides are sorted; pairs come out in left-key order, with each
+    equal-key run expanded to the cross product by the same repeat
+    arithmetic as :func:`hash_join` (the "merge" of two sorted runs *is*
+    a pair of binary-search bounds).
+    """
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        return _EMPTY, _EMPTY
+    if _incomparable(left_keys, right_keys):
+        return _EMPTY, _EMPTY
     left_order = np.argsort(left_keys, kind="stable")
-    right_order = np.argsort(right_keys, kind="stable")
-    ls = left_keys[left_order]
-    rs = right_keys[right_order]
-    li: list[int] = []
-    ri: list[int] = []
-    i = j = 0
-    nl, nr = len(ls), len(rs)
-    while i < nl and j < nr:
-        if ls[i] < rs[j]:
-            i += 1
-        elif ls[i] > rs[j]:
-            j += 1
-        else:
-            # gather the full run of equal keys on both sides
-            key = ls[i]
-            i2 = i
-            while i2 < nl and ls[i2] == key:
-                i2 += 1
-            j2 = j
-            while j2 < nr and rs[j2] == key:
-                j2 += 1
-            for a in range(i, i2):
-                for b in range(j, j2):
-                    li.append(left_order[a])
-                    ri.append(right_order[b])
-            i, j = i2, j2
-    return np.asarray(li, dtype=np.int64), np.asarray(ri, dtype=np.int64)
+    outer_idx, right_idx = _equi_match(left_keys[left_order], right_keys)
+    return left_order[outer_idx].astype(np.int64), right_idx

@@ -141,6 +141,25 @@ class FileFingerprint:
             probe=content_probe(path, st.st_size),
         )
 
+    def as_manifest(self) -> dict:
+        """JSON-serializable form, for the persistent store's manifests."""
+        return {
+            "size": self.size,
+            "mtime_ns": self.mtime_ns,
+            "ino": self.ino,
+            "probe": self.probe.hex(),
+        }
+
+    @classmethod
+    def from_manifest(cls, data: dict) -> "FileFingerprint":
+        """Inverse of :meth:`as_manifest` (raises on malformed input)."""
+        return cls(
+            size=int(data["size"]),
+            mtime_ns=int(data["mtime_ns"]),
+            ino=int(data["ino"]),
+            probe=bytes.fromhex(data["probe"]),
+        )
+
 
 @dataclass
 class IOStats:

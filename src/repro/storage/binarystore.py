@@ -16,6 +16,7 @@ arrays are already in RAM.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -24,6 +25,28 @@ import numpy as np
 
 from repro.errors import FlatFileError
 from repro.flatfile.schema import DataType
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Crash-safe file write: temp file in the same directory + rename.
+
+    ``os.replace`` is atomic on POSIX, so a reader either sees the old
+    complete file or the new complete file — never a torn write.  A crash
+    mid-write leaves only a ``.tmp`` orphan, which readers ignore.
+    """
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def atomic_write_array(path: Path, values: np.ndarray) -> int:
+    """Atomically persist one contiguous array; returns bytes written."""
+    data = np.ascontiguousarray(values)
+    atomic_write_bytes(path, data.tobytes())
+    return data.nbytes
 
 
 @dataclass
@@ -70,23 +93,31 @@ class BinaryStore:
         tdir.mkdir(parents=True, exist_ok=True)
         path = self._column_path(table, column)
         data = np.ascontiguousarray(values, dtype=dtype.numpy_dtype)
-        data.tofile(path)
+        atomic_write_bytes(path, data.tobytes())
         self.stats.bytes_written += data.nbytes
         self.stats.columns_written += 1
         if self.write_bandwidth_bytes_per_sec:
             time.sleep(data.nbytes / self.write_bandwidth_bytes_per_sec)
+        # Manifest last: a crash between the two leaves a column file the
+        # manifest does not yet claim — a cold miss, never a torn entry.
         manifest = self._read_manifest(table)
         manifest["nrows"] = int(len(values))
         manifest.setdefault("columns", {})[column.lower()] = dtype.value
-        self._manifest_path(table).write_text(json.dumps(manifest))
+        atomic_write_bytes(
+            self._manifest_path(table), json.dumps(manifest).encode("utf-8")
+        )
 
     # ------------------------------------------------------------ reading
 
     def _read_manifest(self, table: str) -> dict:
         path = self._manifest_path(table)
-        if not path.exists():
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, ValueError, UnicodeDecodeError):
+            # Missing, garbage, or truncated manifest: the store simply
+            # does not have this table — a cold miss, never an error.
             return {}
-        return json.loads(path.read_text())
+        return manifest if isinstance(manifest, dict) else {}
 
     def nrows(self, table: str) -> int | None:
         manifest = self._read_manifest(table)
@@ -94,10 +125,17 @@ class BinaryStore:
 
     def has(self, table: str, column: str) -> bool:
         manifest = self._read_manifest(table)
-        return (
-            column.lower() in manifest.get("columns", {})
-            and self._column_path(table, column).exists()
-        )
+        columns = manifest.get("columns", {})
+        nrows = manifest.get("nrows")
+        if column.lower() not in columns or not isinstance(nrows, int):
+            return False
+        try:
+            dtype = DataType(columns[column.lower()])
+            size = self._column_path(table, column).stat().st_size
+        except (ValueError, OSError):
+            return False
+        # A truncated (or padded) column file is a cold miss, not data.
+        return size == nrows * np.dtype(dtype.numpy_dtype).itemsize
 
     def load(self, table: str, column: str) -> np.ndarray:
         """Read one column back from disk (the cold-run path)."""

@@ -50,6 +50,12 @@ class FragmentInfo:
     last_used: int
     dropper: Callable[[], None]
     pins: int = 0
+    #: Backed by an ``np.memmap`` of the persistent store, not the heap:
+    #: the pages are shared with every co-located engine mapping the same
+    #: entry and reclaimable by the OS, so they are accounted separately
+    #: and never count against (or get evicted for) the heap budget —
+    #: evicting a mapped column would drop the mapping, not free heap.
+    mapped: bool = False
 
     @property
     def pinned(self) -> bool:
@@ -63,6 +69,7 @@ class MemoryStats:
     evictions: int = 0
     bytes_evicted: int = 0
     peak_bytes: int = 0
+    peak_mapped_bytes: int = 0
 
 
 @dataclass
@@ -83,8 +90,15 @@ class MemoryManager:
 
     @property
     def resident_bytes(self) -> int:
+        """Heap bytes under the budget (mapped pages are not heap)."""
         with self._lock:
-            return sum(f.nbytes for f in self.fragments.values())
+            return sum(f.nbytes for f in self.fragments.values() if not f.mapped)
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Bytes served via ``np.memmap`` of the persistent store."""
+        with self._lock:
+            return sum(f.nbytes for f in self.fragments.values() if f.mapped)
 
     def _tick(self) -> int:
         self._clock += 1
@@ -96,6 +110,7 @@ class MemoryManager:
         nbytes: int,
         dropper: Callable[[], None],
         pinned: bool = False,
+        mapped: bool = False,
     ) -> None:
         """Register or resize a fragment and make room for it.
 
@@ -108,6 +123,13 @@ class MemoryManager:
         :meth:`unpin` (the engine does this when its query's views are
         built); re-registering an already-pinned fragment with
         ``pinned=True`` adds another pin.
+
+        ``mapped=True`` marks the fragment as memmap-backed: its bytes
+        are OS page cache shared across processes, so they are tracked
+        separately and neither charge the heap budget nor get chosen as
+        heap-pressure eviction victims (dropping the mapping would free
+        no budgeted heap).  Explicit invalidation still drops mappings
+        through the normal :meth:`forget` path.
         """
         with self._lock:
             tick = self._tick()
@@ -120,14 +142,18 @@ class MemoryManager:
                 if self.policy == "lru":
                     existing.last_used = tick
                 existing.dropper = dropper
+                existing.mapped = mapped
                 if pinned:
                     existing.pins += 1
             else:
                 self.fragments[key] = FragmentInfo(
-                    key, nbytes, tick, dropper, pins=1 if pinned else 0
+                    key, nbytes, tick, dropper, pins=1 if pinned else 0, mapped=mapped
                 )
             self._enforce(exclude=key)
             self.stats.peak_bytes = max(self.stats.peak_bytes, self.resident_bytes)
+            self.stats.peak_mapped_bytes = max(
+                self.stats.peak_mapped_bytes, self.mapped_bytes
+            )
 
     def touch(self, key: tuple[str, str]) -> None:
         with self._lock:
@@ -204,11 +230,17 @@ class MemoryManager:
             return
         self._enforcing = True
         try:
-            while sum(f.nbytes for f in self.fragments.values()) > self.budget_bytes:
+            # Only heap fragments count against — or are evicted for —
+            # the budget: dropping a mapped fragment would release a
+            # shared page mapping, not the heap bytes being enforced.
+            while (
+                sum(f.nbytes for f in self.fragments.values() if not f.mapped)
+                > self.budget_bytes
+            ):
                 victims = [
                     f
                     for f in self.fragments.values()
-                    if f.pins == 0 and f.key != exclude
+                    if f.pins == 0 and f.key != exclude and not f.mapped
                 ]
                 if not victims:
                     # Only the newcomer (or pinned data) remains: admit it

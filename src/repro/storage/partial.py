@@ -85,6 +85,10 @@ class PartialColumn:
         if len(row_ids) == 0:
             return 0
         self._ensure_backing()
+        if not self.values.flags.writeable:
+            # Restored from the persistent store as a read-only memmap:
+            # copy-on-write to the heap before mutating in place.
+            self.values = np.array(self.values)
         before = len(self.loaded)
         self.values[row_ids] = values
         self.loaded_mask[row_ids] = True
@@ -103,6 +107,23 @@ class PartialColumn:
         self.loaded = IntervalSet.from_range(0, self.nrows)
         self.add_certificate(CoverageCertificate(Condition()))
         return newly
+
+    def restore_full(self, values: np.ndarray) -> None:
+        """Adopt an externally materialized full column (restart-warm).
+
+        Unlike :meth:`store_full` this keeps the array object as-is: a
+        read-only ``np.memmap`` from the persistent store stays a memmap,
+        sharing its pages with every co-located engine instead of being
+        copied onto the heap by ``np.asarray``'s dtype coercion.
+        """
+        if len(values) != self.nrows:
+            raise ExecutionError(
+                f"restore_full: column has {self.nrows} rows, got {len(values)} values"
+            )
+        self.values = values
+        self.loaded_mask = np.ones(self.nrows, dtype=bool)
+        self.loaded = IntervalSet.from_range(0, self.nrows)
+        self.add_certificate(CoverageCertificate(Condition()))
 
     def widen(self, dtype: DataType) -> None:
         """Change the column's type to a wider one (schema widening).
@@ -142,6 +163,14 @@ class PartialColumn:
     @property
     def is_fully_loaded(self) -> bool:
         return len(self.loaded) == self.nrows
+
+    @property
+    def is_mapped(self) -> bool:
+        """Backed by the persistent store's read-only ``np.memmap``.
+
+        Dropping such a column releases the mapping, never the file.
+        """
+        return isinstance(self.values, np.memmap)
 
     def covers_query(self, query: Condition) -> bool:
         return any(cert.covers_query(query) for cert in self.certificates)

@@ -1,0 +1,517 @@
+"""Persistent adaptive store: learned state that survives restarts.
+
+Everything the engine learns about a flat file — the positional map, the
+partition plan, the (possibly widened) schema, and fully loaded column
+arrays — is derived state: expensive to acquire, free to throw away, and
+deterministic given the file's bytes.  This module makes that state
+*addressable*: one on-disk entry per source file, keyed by the same
+content-probing :class:`~repro.flatfile.files.FileFingerprint` that
+drives in-memory auto-invalidation, so a fresh engine (or a co-located
+worker) starts restart-warm instead of re-paying the cold scan the
+paper's Figure 1 amortizes.
+
+Layout (one entry directory per source path, under ``store_dir``)::
+
+    <store_dir>/<stem>-<path-digest>/
+        manifest.json       # fingerprint, schema, posmap + column index
+        pm_rows.bin         # int64 row-start offsets
+        pm_s<j>.bin         # int64 field-start offsets of column j
+        pm_e<j>.bin         # int64 field-end offsets of column j
+        col_<i>.bin         # numeric column i, little-endian (memmapped)
+        col_<i>.off.bin     # string column i: int64 char offsets (n+1)
+        col_<i>.blob.bin    # string column i: UTF-8 payload
+
+The format deliberately extends :class:`~repro.storage.binarystore.
+BinaryStore`'s manifest + per-column layout (raw little-endian arrays, a
+JSON manifest naming them) rather than inventing a second one.
+
+Invariants
+----------
+
+* **Fingerprint-keyed.**  The manifest records the full fingerprint of
+  the source file (size, mtime_ns, inode, head/tail content probe).  A
+  restore compares it against the fingerprint captured *before* any raw
+  read; any mismatch — including a same-size forged-mtime rewrite, which
+  the content probe catches — deletes the entry and reports a miss.
+* **Crash-safe.**  Every file is written to a temp name and
+  ``os.replace``\\ d into place; the manifest is written last.  A crash
+  at any point leaves either the old complete entry or an orphan the
+  reader ignores — never a torn entry.  Corruption (truncated arrays,
+  garbage manifests) is detected by size validation and reported as a
+  cold miss, never a query error.
+* **Shared pages.**  Numeric columns restore as read-only ``np.memmap``
+  arrays: co-located engines and parallel workers mapping the same entry
+  share one physical copy of the pages, and "evicting" a mapped column
+  just drops the mapping — the file stays for the next engine.  String
+  columns cannot be object-dtype-mapped and restore onto the heap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.flatfile.files import FileFingerprint
+from repro.flatfile.positions import PositionalMap
+from repro.flatfile.schema import DataType
+from repro.storage.binarystore import atomic_write_bytes
+
+if TYPE_CHECKING:  # import would be circular at runtime (core -> storage)
+    from repro.core.partitions import PartitionIndex
+    from repro.storage.catalog import TableEntry
+
+_VERSION = 1
+
+_ITEMSIZE = 8  # int64 / float64; the only numeric widths the engine has
+
+
+@dataclass
+class PersistedState:
+    """A restartable snapshot of one table entry's learned state."""
+
+    source: Path
+    fingerprint: FileFingerprint
+    nrows: int
+    has_header: bool
+    #: ``(name, DataType.value)`` in file order — the *widened* schema.
+    schema: list[tuple[str, str]]
+    positional_map: PositionalMap
+    partitions: "PartitionIndex | None"
+    #: Fully loaded columns only, keyed by schema-cased name.
+    columns: dict[str, np.ndarray]
+
+    @classmethod
+    def from_entry(
+        cls, entry: "TableEntry", fingerprint: FileFingerprint
+    ) -> "PersistedState":
+        """Snapshot an entry (caller holds at least the table read lock).
+
+        Arrays are captured by reference: loaded column values and learned
+        offsets are append-only/immutable by convention, and numpy
+        refcounting keeps them alive even if the store evicts the column
+        while the background writer is still serializing it.
+        """
+        pm = entry.positional_map
+        columns: dict[str, np.ndarray] = {}
+        if entry.table is not None:
+            for pc in entry.table.columns.values():
+                if pc.values is not None and pc.is_fully_loaded:
+                    columns[pc.name] = pc.values
+        return cls(
+            source=entry.file.path,
+            fingerprint=fingerprint,
+            nrows=entry.table.nrows if entry.table is not None else 0,
+            has_header=entry.has_header,
+            schema=[(c.name, c.dtype.value) for c in entry.ensure_schema().columns],
+            positional_map=PositionalMap(
+                nrows=pm.nrows,
+                row_offsets=pm.row_offsets,
+                field_offsets=dict(pm.field_offsets),
+                field_ends=dict(pm.field_ends),
+                text_geometry=pm.text_geometry,
+            ),
+            partitions=entry.partitions,
+            columns=columns,
+        )
+
+
+@dataclass
+class LoadOutcome:
+    """Result of a restore probe: a state, a plain miss, or a stale hit."""
+
+    state: PersistedState | None
+    #: True when an entry existed but its fingerprint mismatched the
+    #: current file (the entry has been deleted).
+    invalidated: bool = False
+
+
+@dataclass
+class PersistentStoreStats:
+    """I/O accounting for the persistent store."""
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    entries_written: int = 0
+    entries_restored: int = 0
+
+
+# ---------------------------------------------------------------------------
+# string-column codec (object dtype cannot be memmapped)
+# ---------------------------------------------------------------------------
+
+
+def encode_strings(values: np.ndarray) -> tuple[np.ndarray, bytes]:
+    """``(char_offsets[n+1], utf8_blob)`` for an object array of strings."""
+    texts = [str(v) for v in values]
+    offsets = np.zeros(len(texts) + 1, dtype=np.int64)
+    if texts:
+        np.cumsum(
+            np.fromiter((len(t) for t in texts), dtype=np.int64, count=len(texts)),
+            out=offsets[1:],
+        )
+    return offsets, "".join(texts).encode("utf-8")
+
+
+def decode_strings(offsets: np.ndarray, blob: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_strings`: object array of ``str``."""
+    text = blob.decode("utf-8")
+    bounds = offsets.tolist()
+    if bounds[-1] != len(text):
+        raise ValueError("string blob does not match its offsets")
+    out = np.empty(len(bounds) - 1, dtype=object)
+    for i in range(len(out)):
+        out[i] = text[bounds[i] : bounds[i + 1]]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PersistentStore:
+    """Fingerprint-keyed on-disk cache of learned per-file state."""
+
+    directory: Path
+    stats: PersistentStoreStats = field(default_factory=PersistentStoreStats)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -------------------------------------------------------------- paths
+
+    def entry_dir(self, source: Path | str) -> Path:
+        """The entry directory for one source file path.
+
+        Keyed by the *resolved* path so every engine pointing at the same
+        file — however spelled — lands on the same entry; a short
+        sanitized stem keeps the directory humanly inspectable.
+        """
+        resolved = str(Path(source).resolve())
+        digest = hashlib.blake2b(resolved.encode(), digest_size=8).hexdigest()
+        stem = re.sub(r"[^A-Za-z0-9._-]", "_", Path(source).name)[:40] or "entry"
+        return self.directory / f"{stem}-{digest}"
+
+    # ------------------------------------------------------------- writing
+
+    def save(self, state: PersistedState) -> None:
+        """Persist a snapshot crash-safely; incremental where possible.
+
+        Array files already named by a same-fingerprint manifest are
+        reused (learned state is deterministic given the file's bytes),
+        so persisting a newly loaded column does not rewrite its
+        siblings.  The manifest is replaced last, atomically.
+        """
+        edir = self.entry_dir(state.source)
+        fp_manifest = state.fingerprint.as_manifest()
+        old = self._read_manifest(edir)
+        if old.get("fingerprint") != fp_manifest:
+            self._wipe(edir)
+            old = {}
+        edir.mkdir(parents=True, exist_ok=True)
+        old_pm = old.get("positional_map") or {}
+        old_cols = old.get("columns") or {}
+
+        pm = state.positional_map
+        pm_manifest: dict = {
+            "nrows": pm.nrows,
+            "text_geometry": list(pm.text_geometry) if pm.text_geometry else None,
+            "row_offsets": None,
+            "columns": {},
+        }
+        if pm.row_offsets is not None:
+            pm_manifest["row_offsets"] = self._put_array(
+                edir, "pm_rows.bin", pm.row_offsets, old_pm.get("row_offsets")
+            )
+        old_pm_cols = old_pm.get("columns") or {}
+        for col in pm.known_columns():
+            if col not in pm.field_ends:
+                continue  # starts without ends cannot feed the selective path
+            starts, ends = pm.slices_for(col)
+            known = old_pm_cols.get(str(col)) or {}
+            pm_manifest["columns"][str(col)] = {
+                "starts": self._put_array(
+                    edir, f"pm_s{col}.bin", starts, known.get("starts")
+                ),
+                "ends": self._put_array(
+                    edir, f"pm_e{col}.bin", ends, known.get("ends")
+                ),
+            }
+
+        index_of = {name.lower(): i for i, (name, _) in enumerate(state.schema)}
+        col_manifest: dict = {}
+        for name, values in state.columns.items():
+            i = index_of[name.lower()]
+            dtype = DataType(state.schema[i][1])
+            known = old_cols.get(name.lower()) or {}
+            if dtype.is_numeric:
+                data = np.ascontiguousarray(values, dtype=dtype.numpy_dtype)
+                col_manifest[name.lower()] = {
+                    "name": name,
+                    "dtype": dtype.value,
+                    "file": self._put_array(
+                        edir, f"col_{i}.bin", data, known.get("file")
+                    ),
+                }
+            else:
+                entry = {"name": name, "dtype": dtype.value}
+                if (
+                    known.get("dtype") == dtype.value
+                    and isinstance(known.get("blob_bytes"), int)
+                    and self._have(
+                        edir, known.get("offsets"), (len(values) + 1) * _ITEMSIZE
+                    )
+                    and self._have(edir, known.get("blob"), known["blob_bytes"])
+                ):
+                    entry.update(
+                        offsets=known["offsets"],
+                        blob=known["blob"],
+                        blob_bytes=known["blob_bytes"],
+                    )
+                else:
+                    offsets, blob = encode_strings(values)
+                    entry["offsets"] = self._put_array(
+                        edir, f"col_{i}.off.bin", offsets, None
+                    )
+                    atomic_write_bytes(edir / f"col_{i}.blob.bin", blob)
+                    self.stats.bytes_written += len(blob)
+                    entry["blob"] = f"col_{i}.blob.bin"
+                    entry["blob_bytes"] = len(blob)
+                col_manifest[name.lower()] = entry
+
+        manifest = {
+            "version": _VERSION,
+            "source": str(Path(state.source).resolve()),
+            "fingerprint": fp_manifest,
+            "nrows": state.nrows,
+            "has_header": state.has_header,
+            "schema": [[name, dtype] for name, dtype in state.schema],
+            "positional_map": pm_manifest,
+            "partitions": (
+                state.partitions.as_manifest() if state.partitions else None
+            ),
+            "columns": col_manifest,
+        }
+        atomic_write_bytes(
+            edir / "manifest.json",
+            json.dumps(manifest, ensure_ascii=False).encode("utf-8"),
+        )
+        self.stats.entries_written += 1
+
+    def _put_array(
+        self, edir: Path, filename: str, values: np.ndarray, known: str | None
+    ) -> str:
+        """Write one array unless the old manifest already vouches for it."""
+        data = np.ascontiguousarray(values)
+        if known == filename and self._have(edir, filename, data.nbytes):
+            return filename
+        atomic_write_bytes(edir / filename, data.tobytes())
+        self.stats.bytes_written += data.nbytes
+        return filename
+
+    @staticmethod
+    def _have(edir: Path, filename: str | None, expected_bytes: int) -> bool:
+        if not filename:
+            return False
+        try:
+            return (edir / filename).stat().st_size == expected_bytes
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------- reading
+
+    def load(
+        self, source: Path | str, fingerprint: FileFingerprint
+    ) -> LoadOutcome:
+        """Restore the entry for ``source``, validating its fingerprint.
+
+        ``fingerprint`` must be captured from the live file *before* any
+        raw read, so restored state carries the pre-read identity (the
+        same branding rule as cold loads).  Any damage — garbage
+        manifest, missing or mis-sized array file — is a plain miss.
+        """
+        edir = self.entry_dir(source)
+        manifest = self._read_manifest(edir)
+        if not manifest or manifest.get("version") != _VERSION:
+            return LoadOutcome(None)
+        if manifest.get("fingerprint") != fingerprint.as_manifest():
+            self._wipe(edir)
+            return LoadOutcome(None, invalidated=True)
+        try:
+            state = self._materialize(edir, manifest, source, fingerprint)
+        except (OSError, ValueError, KeyError, TypeError):
+            return LoadOutcome(None)
+        self.stats.entries_restored += 1
+        return LoadOutcome(state)
+
+    def _materialize(
+        self,
+        edir: Path,
+        manifest: dict,
+        source: Path | str,
+        fingerprint: FileFingerprint,
+    ) -> PersistedState:
+        from repro.core.partitions import PartitionIndex
+
+        nrows = int(manifest["nrows"])
+        schema = [(str(n), str(d)) for n, d in manifest["schema"]]
+        for _, dtype in schema:
+            DataType(dtype)  # validates
+
+        pm_manifest = manifest.get("positional_map") or {}
+        pm = PositionalMap()
+        pm_nrows = pm_manifest.get("nrows")
+        if pm_manifest.get("row_offsets"):
+            pm.record_row_offsets(
+                self._mapped_int64(edir, pm_manifest["row_offsets"], pm_nrows)
+            )
+        for col, files in (pm_manifest.get("columns") or {}).items():
+            pm.record_field_offsets(
+                int(col),
+                self._mapped_int64(edir, files["starts"], pm_nrows),
+                self._mapped_int64(edir, files["ends"], pm_nrows),
+            )
+        geometry = pm_manifest.get("text_geometry")
+        if geometry is not None:
+            pm.record_text_geometry(int(geometry[0]), int(geometry[1]))
+
+        partitions = None
+        if manifest.get("partitions"):
+            partitions = PartitionIndex.from_manifest(manifest["partitions"])
+
+        columns: dict[str, np.ndarray] = {}
+        for entry in (manifest.get("columns") or {}).values():
+            name = str(entry["name"])
+            dtype = DataType(entry["dtype"])
+            if dtype.is_numeric:
+                path = self._checked(edir, entry["file"], nrows * _ITEMSIZE)
+                values = np.memmap(path, dtype=dtype.numpy_dtype, mode="r")
+            else:
+                off_path = self._checked(
+                    edir, entry["offsets"], (nrows + 1) * _ITEMSIZE
+                )
+                blob_path = self._checked(
+                    edir, entry["blob"], int(entry["blob_bytes"])
+                )
+                offsets = np.fromfile(off_path, dtype=np.int64)
+                values = decode_strings(offsets, blob_path.read_bytes())
+                self.stats.bytes_read += offsets.nbytes + int(entry["blob_bytes"])
+            columns[name] = values
+
+        return PersistedState(
+            source=Path(source),
+            fingerprint=fingerprint,
+            nrows=nrows,
+            has_header=bool(manifest["has_header"]),
+            schema=schema,
+            positional_map=pm,
+            partitions=partitions,
+            columns=columns,
+        )
+
+    def _mapped_int64(self, edir: Path, filename: str, nrows) -> np.ndarray:
+        expected = int(nrows) * _ITEMSIZE
+        return np.memmap(
+            self._checked(edir, filename, expected), dtype=np.int64, mode="r"
+        )
+
+    @staticmethod
+    def _checked(edir: Path, filename: str, expected_bytes: int) -> Path:
+        """Resolve an entry-local file, rejecting damage and path tricks."""
+        name = str(filename)
+        if "/" in name or name.startswith("."):
+            raise ValueError(f"illegal manifest filename {name!r}")
+        path = edir / name
+        if path.stat().st_size != int(expected_bytes):
+            raise ValueError(f"{name}: size mismatch (truncated or corrupt)")
+        return path
+
+    def _read_manifest(self, edir: Path) -> dict:
+        try:
+            manifest = json.loads((edir / "manifest.json").read_text("utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError):
+            return {}
+        return manifest if isinstance(manifest, dict) else {}
+
+    # ------------------------------------------------------ invalidation
+
+    def invalidate(self, source: Path | str) -> bool:
+        """Drop the entry for ``source``; True when one existed."""
+        edir = self.entry_dir(source)
+        existed = (edir / "manifest.json").exists()
+        self._wipe(edir)
+        return existed
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number of entries removed."""
+        removed = 0
+        for edir in self.directory.iterdir():
+            if edir.is_dir():
+                removed += 1 if (edir / "manifest.json").exists() else 0
+                self._wipe(edir)
+        return removed
+
+    @staticmethod
+    def _wipe(edir: Path) -> None:
+        if not edir.exists():
+            return
+        # Manifest first: a concurrent reader that loses the race sees a
+        # missing manifest (a miss), never a manifest naming gone files.
+        # Races with a concurrent writer are tolerated, not fought: the
+        # writer re-validates by fingerprint before its own manifest lands.
+        try:
+            (edir / "manifest.json").unlink(missing_ok=True)
+            for f in edir.iterdir():
+                f.unlink(missing_ok=True)
+            edir.rmdir()
+        except OSError:
+            pass
+
+    # --------------------------------------------------------- inspection
+
+    def entries(self) -> list[dict]:
+        """One summary dict per valid entry (for ``repro cache``)."""
+        out = []
+        if not self.directory.exists():
+            return out
+        for edir in sorted(self.directory.iterdir()):
+            if not edir.is_dir():
+                continue
+            manifest = self._read_manifest(edir)
+            if not manifest:
+                continue
+            out.append(
+                {
+                    "source": manifest.get("source", "?"),
+                    "nrows": manifest.get("nrows"),
+                    "columns": sorted(manifest.get("columns") or {}),
+                    "positional_map_columns": sorted(
+                        int(c)
+                        for c in (manifest.get("positional_map") or {}).get(
+                            "columns", {}
+                        )
+                    ),
+                    "fingerprint_size": (manifest.get("fingerprint") or {}).get(
+                        "size"
+                    ),
+                    "bytes_on_disk": sum(
+                        f.stat().st_size for f in edir.iterdir() if f.is_file()
+                    ),
+                    "dir": str(edir),
+                }
+            )
+        return out
+
+    def bytes_on_disk(self) -> int:
+        return sum(
+            f.stat().st_size for f in self.directory.rglob("*") if f.is_file()
+        )

@@ -110,6 +110,7 @@ def test_committed_baseline_is_valid():
         "concurrent",
         "dialects",
         "parallel_scan",
+        "persistence",
         "selective_read",
         "tokenize",
     }

@@ -138,6 +138,48 @@ def test_shared_scan_batching_one_load_per_generation(policy, tmp_path):
         engine.close()
 
 
+@pytest.mark.parametrize("nthreads", THREAD_COUNTS)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_concurrent_with_persistent_store_and_restart(policy, nthreads, tmp_path):
+    """Persistence must be invisible too: with a persistent store enabled,
+    a workload split across a simulated restart — engine A runs it
+    concurrently and exits, a fresh engine B on the same ``store_dir``
+    replays all of it concurrently — equals the serial oracle, and the
+    store-keeping policies actually restore restart-warm."""
+    columns = _seeded_table()
+    path, kwargs = render_table(tmp_path, columns, "csv")
+    queries = make_workload(columns, bounds=(-50, 420))
+    expected = oracle_results(path, kwargs, queries)
+    store_dir = tmp_path / "store"
+    cfg = dict(policy=policy, store_dir=store_dir)
+    label = f"persist {policy} x{nthreads}"
+
+    engine_a = NoDBEngine(EngineConfig(**cfg))
+    try:
+        engine_a.attach("t", path, **kwargs)
+        results = run_workload_concurrently(engine_a, queries, nthreads)
+        _assert_threads_match_oracle(results, expected, f"{label} phase A")
+        engine_a.flush_persistent_store()
+    finally:
+        engine_a.close()
+
+    engine_b = NoDBEngine(EngineConfig(**cfg))
+    try:
+        engine_b.attach("t", path, **kwargs)
+        results = run_workload_concurrently(engine_b, queries, nthreads)
+        _assert_threads_match_oracle(results, expected, f"{label} phase B")
+        counters = engine_b.stats.counters
+        if policy in STORE_KEEPING:
+            assert engine_a.stats.counters.persist_writes >= 1, label
+            assert counters.restart_warm_hits >= 1, (
+                f"{label}: engine B never restored from the store "
+                f"(counters: {counters.snapshot()})"
+            )
+            assert engine_b.stats.max_loads_per_signature() <= 1, label
+    finally:
+        engine_b.close()
+
+
 @settings(max_examples=4, deadline=None)
 @given(columns=tables())
 @pytest.mark.parametrize("policy", POLICIES)

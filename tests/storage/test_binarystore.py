@@ -68,3 +68,56 @@ def test_drop_table(store):
     assert not store.has("r", "a1")
     assert store.nrows("r") is None
     store.drop_table("r")  # idempotent
+
+
+class TestCorruption:
+    """On-disk damage is always a cold miss, never a query error."""
+
+    def test_truncated_column_file(self, store):
+        store.save("r", "a1", DataType.INT64, np.arange(100))
+        path = store._column_path("r", "a1")
+        path.write_bytes(path.read_bytes()[:-8])
+        assert not store.has("r", "a1")
+
+    def test_grown_column_file(self, store):
+        store.save("r", "a1", DataType.INT64, np.arange(10))
+        path = store._column_path("r", "a1")
+        path.write_bytes(path.read_bytes() + b"\x00" * 8)
+        assert not store.has("r", "a1")
+
+    def test_garbage_manifest(self, store):
+        store.save("r", "a1", DataType.INT64, np.arange(5))
+        store._manifest_path("r").write_bytes(b"{not json\xff\xfe")
+        assert not store.has("r", "a1")
+        assert store.nrows("r") is None
+        with pytest.raises(FlatFileError, match="no column"):
+            store.load("r", "a1")
+
+    def test_manifest_wrong_shape(self, store):
+        store.save("r", "a1", DataType.INT64, np.arange(5))
+        store._manifest_path("r").write_text('["a", "list"]')
+        assert not store.has("r", "a1")
+
+    def test_mid_write_crash_leaves_tmp_orphan(self, store):
+        """A crash between temp write and rename must be invisible."""
+        store.save("r", "a1", DataType.INT64, np.arange(4))
+        tdir = store._table_dir("r")
+        (tdir / ".a2.bin.999.tmp").write_bytes(b"\x01\x02")
+        (tdir / ".manifest.json.999.tmp").write_bytes(b"{half")
+        assert store.has("r", "a1")
+        assert not store.has("r", "a2")
+        assert store.load("r", "a1").tolist() == [0, 1, 2, 3]
+        store.drop_table("r")  # orphans must not break teardown
+        assert not store.has("r", "a1")
+
+    def test_column_file_deleted(self, store):
+        store.save("r", "a1", DataType.INT64, np.arange(3))
+        store._column_path("r", "a1").unlink()
+        assert not store.has("r", "a1")
+
+    def test_save_over_corruption_recovers(self, store):
+        store.save("r", "a1", DataType.INT64, np.arange(6))
+        store._manifest_path("r").write_bytes(b"\xde\xad")
+        store.save("r", "a1", DataType.INT64, np.arange(6))
+        assert store.has("r", "a1")
+        assert store.load("r", "a1").tolist() == list(range(6))

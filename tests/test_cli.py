@@ -177,6 +177,40 @@ class TestFormats:
         assert "--fixed-widths" in err
 
 
+class TestPersistentStore:
+    def test_store_dir_round_trip_and_cache_commands(self, tmp_path):
+        p = tmp_path / "d.csv"
+        p.write_text("a,b\n1,2\n3,4\n")
+        store = tmp_path / "store"
+
+        code, out, _ = run_cli(
+            "--store-dir", str(store), "select sum(a) from t", str(p)
+        )
+        assert code == 0 and "4" in out
+
+        code, out, _ = run_cli("cache", "list", "--store-dir", str(store))
+        assert code == 0
+        assert "d.csv" in out and "rows=2" in out
+
+        code, out, _ = run_cli("cache", "clear", "--store-dir", str(store))
+        assert code == 0 and "cleared 1 entry" in out
+
+        code, out, _ = run_cli("cache", "list", "--store-dir", str(store))
+        assert code == 0 and "empty" in out
+
+    def test_no_persistent_store_bypasses(self, tmp_path):
+        p = tmp_path / "d.csv"
+        p.write_text("a\n1\n")
+        store = tmp_path / "store"
+        code, _, _ = run_cli(
+            "--store-dir", str(store), "--no-persistent-store",
+            "select count(*) from t", str(p),
+        )
+        assert code == 0
+        code, out, _ = run_cli("cache", "list", "--store-dir", str(store))
+        assert code == 0 and "empty" in out
+
+
 def test_table_names():
     from pathlib import Path
 
