@@ -21,7 +21,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import NoDBEngine
+import repro
 
 GENRES = ["rock", "jazz", "electronic", "classical", "hiphop", "folk"]
 ARTISTS = [f"artist_{i:02d}" for i in range(40)]
@@ -47,11 +47,11 @@ def main() -> None:
     write_library(library)
     print(f"music library export: {library} ({library.stat().st_size:,} bytes)\n")
 
-    engine = NoDBEngine()
-    engine.attach("tracks", library)
+    conn = repro.connect()
+    conn.attach("tracks", library)
 
     print("detected schema (no user input, section 5.6):")
-    for name, dtype in engine.schema_of("tracks"):
+    for name, dtype in conn.schema("tracks"):
         print(f"  {name}: {dtype}")
     print()
 
@@ -75,7 +75,7 @@ def main() -> None:
         ),
     ]:
         print(f"> {title}")
-        print(engine.query(sql))
+        print(conn.execute(sql))
         print()
 
     print("the library file is still just a file — append two tracks...")
@@ -83,13 +83,13 @@ def main() -> None:
     with open(library, "a", encoding="utf-8") as f:
         f.write("artist_99,album_new,jazz,2026,240,9999\n")
         f.write("artist_99,album_new,jazz,2026,250,9998\n")
-    top = engine.query(
+    top = conn.execute(
         "select artist, max(plays) as top from tracks group by artist "
         "order by top desc limit 1"
     )
     print("...and the next query sees them (auto-invalidation, section 5.4):")
     print(top)
-    engine.close()
+    conn.close()
 
 
 if __name__ == "__main__":

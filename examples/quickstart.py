@@ -1,9 +1,9 @@
 """Quickstart: here are my data files, here are my queries.
 
-The complete NoDB loop in one minute:
+The complete NoDB loop in one minute, through the public API:
 
 1. generate a raw CSV (stand-in for "my data files"),
-2. attach it — *zero* loading happens,
+2. ``repro.connect(...)`` it — *zero* loading happens,
 3. fire SQL immediately,
 4. watch the adaptive store fill in only what the queries needed.
 
@@ -17,7 +17,7 @@ import os
 import tempfile
 from pathlib import Path
 
-from repro import EngineConfig, NoDBEngine
+import repro
 from repro.workload import TableSpec, materialize_csv
 
 ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", "100000"))
@@ -28,32 +28,31 @@ def main() -> None:
     csv_path = materialize_csv(TableSpec(nrows=ROWS, ncols=4, seed=7), workdir / "data.csv")
     print(f"raw data file: {csv_path} ({csv_path.stat().st_size:,} bytes)")
 
-    engine = NoDBEngine(EngineConfig(policy="column_loads"))
-    engine.attach("r", csv_path)
-    print(f"attached as table 'r'; bytes read so far: "
-          f"{engine.catalog.get('r').file.stats.bytes_read}  (zero initialization)\n")
+    with repro.connect(csv_path, policy="column_loads") as conn:
+        engine = conn.engine  # the adaptive machinery, for introspection
+        print(f"attached as table 't'; bytes read so far: "
+              f"{engine.catalog.get('t').file.stats.bytes_read}  (zero initialization)\n")
 
-    queries = [
-        "select count(*) from r",
-        "select sum(a1), avg(a2) from r where a1 > 1000 and a1 < 30000",
-        "select sum(a1), avg(a2) from r where a1 > 2000 and a1 < 25000",
-        "select max(a4) from r where a3 < 500",
-    ]
-    for sql in queries:
-        result = engine.query(sql)
-        q = engine.stats.last()
-        source = "adaptive store" if q.served_from_store else "flat file"
-        print(f"> {sql}")
-        print(f"  {result.rows()[0]}")
-        print(
-            f"  [{q.elapsed_s * 1e3:7.1f} ms | answered from {source:>14} | "
-            f"parsed {q.parse.values_parsed:>7} values | "
-            f"loaded {q.rows_loaded:>7} new cells]\n"
-        )
+        queries = [
+            "select count(*) from t",
+            "select sum(a1), avg(a2) from t where a1 > 1000 and a1 < 30000",
+            "select sum(a1), avg(a2) from t where a1 > 2000 and a1 < 25000",
+            "select max(a4) from t where a3 < 500",
+        ]
+        for sql in queries:
+            result = conn.execute(sql)
+            q = conn.stats()["last_query"]
+            source = "adaptive store" if q["served_from_store"] else "flat file"
+            print(f"> {sql}")
+            print(f"  {result.rows()[0]}")
+            print(
+                f"  [{q['elapsed_s'] * 1e3:7.1f} ms | answered from {source:>14} | "
+                f"parsed {q['values_parsed']:>7} values | "
+                f"loaded {q['rows_loaded']:>7} new cells]\n"
+            )
 
-    print("what the store holds now (only what queries touched):")
-    print(engine.explain(queries[-1]))
-    engine.close()
+        print("what the store holds now (only what queries touched):")
+        print(engine.explain(queries[-1]))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,148 @@
+"""The top-level facade: ``repro.connect(...)``.
+
+"Here are my data files, here are my queries" as one call::
+
+    import repro
+
+    with repro.connect("data.csv") as conn:          # file becomes table `t`
+        result = conn.execute("select sum(a1) from t where a1 > 10")
+        for page in result.pages(1000):
+            ...
+
+:func:`connect` is the supported entry point for applications: it wraps
+the adaptive engine in a :class:`Connection` (context-managed, with a
+small stable surface), and the *same* surface is what
+:class:`repro.client.RemoteConnection` implements over HTTP — passing
+``url=`` instead of file paths returns a connection to a running
+``repro serve`` process, so code written against :class:`Connection`
+works unchanged against a remote engine.
+
+Direct :class:`~repro.core.engine.NoDBEngine` use remains available (and
+:attr:`Connection.engine` exposes the wrapped engine for policy
+switching, explain plans and counters), but examples and applications
+should go through :func:`connect`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.config import EngineConfig
+from repro.core.engine import NoDBEngine
+from repro.result import QueryResult
+
+
+def table_names_for(count: int) -> list[str]:
+    """The auto-attach naming rule shared by the CLI, facade and server:
+    one file is table ``t``; several are ``t1..tN``."""
+    if count == 1:
+        return ["t"]
+    return [f"t{i + 1}" for i in range(count)]
+
+
+class Connection:
+    """A context-managed handle on one adaptive engine.
+
+    The stable public query surface: :meth:`attach` / :meth:`detach` /
+    :meth:`tables` / :meth:`schema` / :meth:`execute` / :meth:`stats` /
+    :meth:`close`.  :class:`repro.client.RemoteConnection` mirrors it
+    over the wire.
+    """
+
+    def __init__(self, engine: NoDBEngine) -> None:
+        self._engine = engine
+        self._closed = False
+
+    # ------------------------------------------------------------ catalog
+
+    def attach(
+        self,
+        name: str,
+        path: Path | str,
+        delimiter: str = ",",
+        format: str | None = None,
+        fixed_widths: tuple[int, ...] | None = None,
+    ) -> None:
+        """Link a raw file as a queryable table.  No data is read."""
+        self._engine.attach(
+            name, path, delimiter=delimiter, format=format, fixed_widths=fixed_widths
+        )
+
+    def detach(self, name: str) -> None:
+        self._engine.detach(name)
+
+    def tables(self) -> list[str]:
+        return self._engine.tables()
+
+    def schema(self, name: str) -> list[tuple[str, str]]:
+        """``(column, dtype)`` pairs of an attached table (lazy inference)."""
+        return self._engine.schema_of(name)
+
+    # ----------------------------------------------------------- querying
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse, bind, adaptively load and execute one SELECT."""
+        return self._engine.query(sql)
+
+    def stats(self) -> dict:
+        """JSON-safe point-in-time engine statistics snapshot."""
+        return self._engine.stats.snapshot()
+
+    # ----------------------------------------------------------- plumbing
+
+    @property
+    def engine(self) -> NoDBEngine:
+        """The wrapped engine, for advanced use (policies, explain, ...)."""
+        return self._engine
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._engine.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<repro.Connection {state} tables={self._engine.tables()}>"
+
+
+def connect(
+    *paths: Path | str,
+    url: str | None = None,
+    config: EngineConfig | None = None,
+    **config_kwargs,
+):
+    """Open a connection to an adaptive engine — local or remote.
+
+    ``connect("a.csv")`` builds a local engine and attaches the file as
+    table ``t`` (several files become ``t1..tN``); keyword arguments are
+    forwarded to :class:`EngineConfig` (or pass a prebuilt ``config``).
+    ``connect(url="http://host:port")`` instead returns a
+    :class:`repro.client.RemoteConnection` to a running ``repro serve``
+    process — same surface, same result type.
+    """
+    if url is not None:
+        if paths or config is not None or config_kwargs:
+            raise ValueError(
+                "connect(url=...) takes no files or engine config; attach "
+                "tables through the returned connection"
+            )
+        from repro.client import RemoteConnection
+
+        return RemoteConnection(url)
+    if config is not None and config_kwargs:
+        raise ValueError("pass either a prebuilt config or config keywords, not both")
+    engine = NoDBEngine(config or EngineConfig(**config_kwargs))
+    conn = Connection(engine)
+    try:
+        for name, path in zip(table_names_for(len(paths)), paths):
+            conn.attach(name, path)
+    except BaseException:
+        conn.close()
+        raise
+    return conn

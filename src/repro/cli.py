@@ -15,15 +15,20 @@ results, no ceremony::
     # interactive shell over a set of files
     python -m repro --shell data.csv other.csv
 
+    # serve the engine to many clients over HTTP (see repro.server)
+    python -m repro serve data.csv --port 8321
+
 Exit status: 0 on success, 1 on SQL/data errors (message on stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro.api import table_names_for
 from repro.config import POLICIES, EngineConfig
 from repro.core.autotuner import AutoTuningEngine
 from repro.core.engine import NoDBEngine
@@ -133,6 +138,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print per-query work counters after each result",
     )
     parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result as strict JSON (the exact wire encoding "
+        "the HTTP server uses) instead of the pretty table",
+    )
+    parser.add_argument(
         "--explain",
         action="store_true",
         help="print the load plan instead of executing",
@@ -144,29 +155,31 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 
 def table_names(files: list[Path]) -> list[str]:
-    if len(files) == 1:
-        return ["t"]
-    return [f"t{i + 1}" for i in range(len(files))]
+    return table_names_for(len(files))
 
 
 def _print_stats(engine: NoDBEngine, out) -> None:
-    q = engine.stats.last()
-    if q.result_cache_hit:
+    # Read through the JSON-safe snapshot — the same surface the HTTP
+    # /stats endpoint serves — never through live counter objects.
+    q = engine.stats.snapshot()["last_query"]
+    if q is None:
+        return
+    if q["result_cache_hit"]:
         source = "result cache"
-    elif q.served_from_store:
+    elif q["served_from_store"]:
         source = "adaptive store"
     else:
         source = "flat file(s)"
     parallel = (
-        f" | parallel partitions {q.parallel_partitions}"
-        if q.parallel_partitions
+        f" | parallel partitions {q['parallel_partitions']}"
+        if q["parallel_partitions"]
         else ""
     )
     print(
-        f"-- {q.elapsed_s * 1e3:.1f} ms | {source} | "
-        f"bytes read {q.file_bytes_read:,} | "
-        f"values parsed {q.parse.values_parsed:,} | "
-        f"rows loaded {q.rows_loaded:,}" + parallel,
+        f"-- {q['elapsed_s'] * 1e3:.1f} ms | {source} | "
+        f"bytes read {q['file_bytes_read']:,} | "
+        f"values parsed {q['values_parsed']:,} | "
+        f"rows loaded {q['rows_loaded']:,}" + parallel,
         file=out,
     )
 
@@ -234,6 +247,121 @@ def run_cache_command(argv: list[str], stdout, stderr) -> int:
     return 0
 
 
+def build_serve_arg_parser() -> argparse.ArgumentParser:
+    """Parser of ``repro serve`` (split out so tests can drive it)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve the adaptive engine to many clients over HTTP/JSON.",
+    )
+    parser.add_argument("files", nargs="*", type=Path, help="raw data files to attach")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8321, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument("--policy", choices=POLICIES, default="column_loads")
+    parser.add_argument("--delimiter", default=",")
+    parser.add_argument("--format", choices=("auto",) + FORMATS, default="csv")
+    parser.add_argument(
+        "--parallel-workers", type=int, default=1, metavar="N",
+        help="partitioned-scan workers (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--result-cache", action=argparse.BooleanOptionalAction, default=True,
+        help="serve repeated identical queries from the result cache "
+        "(default: on for the server — many clients repeat queries)",
+    )
+    parser.add_argument("--store-dir", type=Path, default=None, metavar="DIR")
+    parser.add_argument(
+        "--no-persistent-store", dest="persistent_store", action="store_false"
+    )
+    parser.add_argument(
+        "--memory-budget-bytes", type=int, default=None, metavar="BYTES"
+    )
+    parser.add_argument(
+        "--page-size", type=int, default=None, metavar="ROWS",
+        help="default rows per result page",
+    )
+    parser.add_argument(
+        "--page-size-cap", type=int, default=None, metavar="ROWS",
+        help="hard server-side cap on requested page sizes",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="global cap on concurrently executing queries",
+    )
+    parser.add_argument(
+        "--max-inflight-per-client", type=int, default=4, metavar="N",
+        help="per-client in-flight query cap (429 beyond it)",
+    )
+    parser.add_argument(
+        "--query-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-query server timeout (504 beyond it)",
+    )
+    parser.add_argument(
+        "--result-ttl", type=float, default=300.0, metavar="SECONDS",
+        help="lifetime of stored result resources",
+    )
+    parser.add_argument(
+        "--max-results", type=int, default=256, metavar="N",
+        help="LRU cap on stored result resources",
+    )
+    return parser
+
+
+def build_server_from_args(args):
+    """An unstarted :class:`repro.server.ReproServer` from parsed args."""
+    from repro.server import ReproServer
+
+    config = EngineConfig(
+        policy=args.policy,
+        parallel_workers=args.parallel_workers,
+        result_cache=args.result_cache,
+        store_dir=args.store_dir,
+        persistent_store=args.persistent_store,
+        memory_budget_bytes=args.memory_budget_bytes,
+    )
+    engine = NoDBEngine(config)
+    try:
+        fmt = None if args.format == "csv" else args.format
+        for name, path in zip(table_names_for(len(args.files)), args.files):
+            engine.attach(name, path, delimiter=args.delimiter, format=fmt)
+        server_kwargs = dict(
+            max_inflight=args.max_inflight,
+            max_inflight_per_client=args.max_inflight_per_client,
+            query_timeout_s=args.query_timeout,
+            result_ttl_s=args.result_ttl,
+            max_results=args.max_results,
+            owns_engine=True,
+        )
+        if args.page_size is not None:
+            server_kwargs["default_page_size"] = args.page_size
+        if args.page_size_cap is not None:
+            server_kwargs["page_size_cap"] = args.page_size_cap
+        return ReproServer(engine, args.host, args.port, **server_kwargs)
+    except BaseException:
+        engine.close()
+        raise
+
+
+def run_serve_command(argv: list[str], stdout, stderr) -> int:
+    """``repro serve [files...]``: run the HTTP query server until ^C."""
+    args = build_serve_arg_parser().parse_args(argv)
+    try:
+        server = build_server_from_args(args)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=stderr)
+        return 1
+    with server:
+        print(f"repro serving on {server.url}", file=stdout)
+        if server.engine.tables():
+            print(f"tables: {', '.join(server.engine.tables())}", file=stdout)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", file=stdout)
+    return 0
+
+
 def main(argv: list[str] | None = None, stdin=None, stdout=None, stderr=None) -> int:
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
@@ -241,6 +369,8 @@ def main(argv: list[str] | None = None, stdin=None, stdout=None, stderr=None) ->
     raw_argv = list(sys.argv[1:] if argv is None else argv)
     if raw_argv[:1] == ["cache"]:
         return run_cache_command(raw_argv[1:], stdout, stderr)
+    if raw_argv[:1] == ["serve"]:
+        return run_serve_command(raw_argv[1:], stdout, stderr)
     args = build_arg_parser().parse_args(raw_argv)
 
     # `sql files...` vs `--shell files...`: with --shell the positional
@@ -312,7 +442,12 @@ def main(argv: list[str] | None = None, stdin=None, stdout=None, stderr=None) ->
             print(raw_engine.explain(sql), file=stdout)
             return 0
         result = engine.query(sql)
-        print(result, file=stdout)
+        if args.json:
+            # The exact wire encoding of the HTTP server (strict JSON;
+            # non-finite floats as "NaN"/"Infinity"/"-Infinity" strings).
+            print(json.dumps(result.to_json_dict(), allow_nan=False), file=stdout)
+        else:
+            print(result, file=stdout)
         if args.stats:
             _print_stats(raw_engine, stdout)
         if args.auto and getattr(engine, "switches", None):

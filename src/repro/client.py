@@ -1,0 +1,241 @@
+"""Minimal HTTP client for a ``repro serve`` process — stdlib only.
+
+:class:`RemoteConnection` mirrors the :class:`repro.api.Connection`
+surface over the wire protocol of :mod:`repro.server`, so application
+code written against ``repro.connect(...)`` works unchanged whether the
+engine is in-process or behind a socket::
+
+    conn = repro.connect(url="http://127.0.0.1:8321")
+    conn.attach("t", "/data/events.csv")
+    result = conn.execute("select count(*) from t")   # RemoteResult
+    for page in result.pages():                        # bounded fetches
+        ...
+
+Server-side errors re-raise as the *same* :class:`repro.errors.ReproError`
+subclass the engine raised (the wire payload carries the stable error
+code); overload surfaces as :class:`~repro.errors.OverloadedError` with
+the server's ``Retry-After`` hint in ``retry_after_s``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import OverloadedError, ReproError, error_from_payload
+from repro.result import QueryResult
+
+
+class RemoteResult:
+    """Handle on a result resource held by the server.
+
+    Page 0 arrives with the query response; further pages are fetched
+    lazily (and cached) through ``GET /results/<id>/pages/<n>`` — a large
+    result never crosses the wire in one response.
+    """
+
+    def __init__(
+        self, conn: "RemoteConnection", meta: dict, first_page: dict | None = None
+    ) -> None:
+        self._conn = conn
+        self.meta = meta
+        self.stats: dict = {}
+        self._pages: dict[int, QueryResult] = {}
+        if first_page is not None:
+            self._pages[0] = QueryResult.from_json_dict(first_page)
+
+    # ------------------------------------------------------------- shape
+
+    @property
+    def result_id(self) -> str:
+        return self.meta["result_id"]
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.meta["names"])
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.meta["num_rows"])
+
+    @property
+    def num_pages(self) -> int:
+        return int(self.meta["num_pages"])
+
+    @property
+    def page_size(self) -> int:
+        return int(self.meta["page_size"])
+
+    # ------------------------------------------------------------ paging
+
+    def page(self, n: int) -> QueryResult:
+        """Fetch (or reuse) one bounded page as a :class:`QueryResult`."""
+        if n not in self._pages:
+            payload = self._conn._request(
+                "GET", f"/results/{self.result_id}/pages/{n}"
+            )
+            self._pages[n] = QueryResult.from_json_dict(payload)
+        return self._pages[n]
+
+    def pages(self) -> Iterator[QueryResult]:
+        """Iterate every page, in order."""
+        for n in range(self.num_pages):
+            yield self.page(n)
+
+    def to_result(self) -> QueryResult:
+        """Materialize the full result locally (fetches remaining pages)."""
+        pages = list(self.pages())
+        columns = [
+            np.concatenate([p.columns[i] for p in pages])
+            for i in range(pages[0].num_columns)
+        ]
+        result = QueryResult(pages[0].names, columns)
+        result.stats = dict(self.stats)
+        return result
+
+    def rows(self) -> list[tuple]:
+        return [row for page in self.pages() for row in page.rows()]
+
+    def scalar(self):
+        return self.to_result().scalar()
+
+    def to_dict(self) -> dict[str, list]:
+        return self.to_result().to_dict()
+
+    def delete(self) -> None:
+        """Drop the server-side resource backing this handle."""
+        self._conn._request("DELETE", f"/results/{self.result_id}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<RemoteResult {self.result_id} rows={self.num_rows} "
+            f"pages={self.num_pages}x{self.page_size}>"
+        )
+
+
+class RemoteConnection:
+    """The :class:`repro.api.Connection` surface, over HTTP."""
+
+    def __init__(
+        self,
+        url: str,
+        client_id: str | None = None,
+        timeout_s: float = 60.0,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.client_id = client_id
+        self.timeout_s = timeout_s
+
+    # ----------------------------------------------------------- plumbing
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if self.client_id:
+            headers["X-Repro-Client"] = self.client_id
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise self._wire_error(exc) from None
+
+    @staticmethod
+    def _wire_error(exc: urllib.error.HTTPError) -> ReproError:
+        """The server's taxonomy error, rebuilt from the response body."""
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError, OSError):
+            payload = {"error": "internal", "message": f"HTTP {exc.code}"}
+        error = error_from_payload(payload)
+        if isinstance(error, OverloadedError):
+            retry_after = exc.headers.get("Retry-After")
+            if retry_after is not None:
+                try:
+                    error.retry_after_s = float(retry_after)
+                    error.details["retry_after_s"] = error.retry_after_s
+                except ValueError:
+                    pass
+        return error
+
+    # ------------------------------------------------------------ catalog
+
+    def attach(
+        self,
+        name: str,
+        path: Path | str,
+        delimiter: str = ",",
+        format: str | None = None,
+        fixed_widths: tuple[int, ...] | None = None,
+    ) -> None:
+        """Attach a file *on the server's filesystem* as a table."""
+        body: dict = {"name": name, "path": str(path), "delimiter": delimiter}
+        if format is not None:
+            body["format"] = format
+        if fixed_widths is not None:
+            body["fixed_widths"] = list(fixed_widths)
+        self._request("POST", "/tables", body)
+
+    def detach(self, name: str) -> None:
+        self._request("DELETE", f"/tables/{name}")
+
+    def tables(self) -> list[str]:
+        return list(self._request("GET", "/tables")["tables"])
+
+    def table_info(self, name: str) -> dict:
+        """Schema plus adaptive-store warmth of one table."""
+        return self._request("GET", f"/tables/{name}")
+
+    def schema(self, name: str) -> list[tuple[str, str]]:
+        return [
+            (c["name"], c["dtype"]) for c in self.table_info(name)["columns"]
+        ]
+
+    # ----------------------------------------------------------- querying
+
+    def execute(self, sql: str, page_size: int | None = None) -> RemoteResult:
+        """Run one SELECT; returns a paged :class:`RemoteResult` handle."""
+        body: dict = {"sql": sql}
+        if page_size is not None:
+            body["page_size"] = page_size
+        payload = self._request("POST", "/query", body)
+        result = RemoteResult(self, payload["result"], first_page=payload["page"])
+        result.stats = payload.get("stats", {})
+        return result
+
+    def result(self, result_id: str) -> RemoteResult:
+        """Re-open a stored result resource by id (results are data)."""
+        return RemoteResult(self, self._request("GET", f"/results/{result_id}"))
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    # ----------------------------------------------------------- lifetime
+
+    def close(self) -> None:
+        """Stateless protocol: nothing to release (kept for symmetry)."""
+
+    def __enter__(self) -> "RemoteConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<repro.client.RemoteConnection {self.url}>"
+
+
+__all__ = ["RemoteConnection", "RemoteResult"]

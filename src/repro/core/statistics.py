@@ -53,6 +53,28 @@ class QueryStats:
             f"parse={self.parse.values_parsed:>9d} loaded={self.rows_loaded:>8d}"
         )
 
+    def snapshot(self) -> dict:
+        """JSON-safe flat view of what this query cost (wire/CLI form)."""
+        return {
+            "sql": self.sql,
+            "policy": self.policy,
+            "tables": list(self.tables),
+            "elapsed_s": self.elapsed_s,
+            "load_s": self.load_s,
+            "execute_s": self.execute_s,
+            "file_bytes_read": self.file_bytes_read,
+            "file_reads": self.file_reads,
+            "rows_loaded": self.rows_loaded,
+            "values_parsed": self.parse.values_parsed,
+            "fields_tokenized": self.tokenizer.fields_tokenized,
+            "served_from_store": self.served_from_store,
+            "went_to_file": self.went_to_file,
+            "result_rows": self.result_rows,
+            "parallel_partitions": self.parallel_partitions,
+            "result_cache_hit": self.result_cache_hit,
+            "shared_scan_reused": self.shared_scan_reused,
+        }
+
 
 @dataclass
 class ConcurrencyCounters:
@@ -154,6 +176,32 @@ class EngineStatistics:
         """The worst duplicate-load count across all generations (0 = none)."""
         with self._lock:
             return max(self.loads_by_signature.values(), default=0)
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot(self) -> dict:
+        """Thread-safe, JSON-safe point-in-time copy of the statistics.
+
+        This is the **only** sanctioned way for serving layers (the HTTP
+        ``/stats`` endpoint, the CLI ``--stats`` printer) to read engine
+        statistics: one lock acquisition yields a coherent copy, and the
+        dict is plain data — no live counter objects escape.
+        """
+        with self._lock:
+            queries = list(self.queries)
+            counters = self.counters.snapshot()
+            max_loads = max(self.loads_by_signature.values(), default=0)
+        return {
+            "queries": len(queries),
+            "total_file_bytes": sum(q.file_bytes_read for q in queries),
+            "total_values_parsed": sum(q.parse.values_parsed for q in queries),
+            "total_rows_loaded": sum(q.rows_loaded for q in queries),
+            "queries_from_store": sum(1 for q in queries if q.served_from_store),
+            "queries_from_file": sum(1 for q in queries if q.went_to_file),
+            "max_loads_per_signature": max_loads,
+            "counters": counters,
+            "last_query": queries[-1].snapshot() if queries else None,
+        }
 
     @property
     def total_file_bytes(self) -> int:

@@ -5,13 +5,65 @@ plus conveniences for tests and interactive use (row tuples, dict export,
 pretty printing).  All engines and baselines in this repository return this
 type, which is what lets the property tests assert that every loading
 policy produces byte-identical answers.
+
+The same type is the unit of the wire protocol: :meth:`to_json_dict` /
+:meth:`from_json_dict` give an exact JSON-safe round-trip (non-finite
+floats are encoded as the strings ``"NaN"`` / ``"Infinity"`` /
+``"-Infinity"`` so payloads stay strict-JSON), and the paging API
+(:meth:`page`, :meth:`pages`, :meth:`num_pages`) slices a result into
+bounded row windows — the CLI, the HTTP server and the client all
+serialize and page results through these methods, identically.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
+
+
+def _encode_value(v) -> object:
+    """One cell as a strict-JSON-safe Python scalar."""
+    if isinstance(v, (bool, np.bool_)):
+        return bool(v)
+    if isinstance(v, (int, np.integer)):
+        return int(v)
+    if isinstance(v, (float, np.floating)):
+        f = float(v)
+        if math.isnan(f):
+            return "NaN"
+        if math.isinf(f):
+            return "Infinity" if f > 0 else "-Infinity"
+        return f
+    return str(v)
+
+
+_FLOAT_SPECIALS = {
+    "NaN": float("nan"),
+    "Infinity": float("inf"),
+    "-Infinity": float("-inf"),
+}
+
+
+def _decode_column(values: list, dtype: str) -> np.ndarray:
+    if dtype == "int64":
+        return np.array(values, dtype=np.int64)
+    if dtype == "float64":
+        return np.array(
+            [_FLOAT_SPECIALS.get(v, v) if isinstance(v, str) else v for v in values],
+            dtype=np.float64,
+        )
+    return np.array([str(v) for v in values], dtype=object)
+
+
+def _dtype_token(arr: np.ndarray) -> str:
+    if arr.dtype.kind in "iub":
+        return "int64"
+    if arr.dtype.kind == "f":
+        return "float64"
+    return "str"
 
 
 @dataclass
@@ -60,6 +112,58 @@ class QueryResult:
 
     def to_dict(self) -> dict[str, list]:
         return {n: list(c) for n, c in zip(self.names, self.columns)}
+
+    # ------------------------------------------------------------- paging
+
+    def slice_rows(self, start: int, stop: int) -> "QueryResult":
+        """A new result holding rows ``[start, stop)`` (stats not copied)."""
+        return QueryResult(list(self.names), [c[start:stop] for c in self.columns])
+
+    def num_pages(self, size: int) -> int:
+        """How many ``size``-row pages this result splits into (>= 1)."""
+        if size <= 0:
+            raise ValueError(f"page size must be positive, got {size}")
+        return max(1, -(-self.num_rows // size))
+
+    def page(self, n: int, size: int) -> "QueryResult":
+        """Page ``n`` (0-based) of ``size`` rows.
+
+        Raises :class:`IndexError` past the last page; page 0 of an empty
+        result is the empty result itself (a result always has one page).
+        """
+        npages = self.num_pages(size)
+        if not 0 <= n < npages:
+            raise IndexError(f"page {n} out of range (result has {npages} pages)")
+        return self.slice_rows(n * size, min((n + 1) * size, self.num_rows))
+
+    def pages(self, size: int) -> Iterator["QueryResult"]:
+        """Iterate the result as bounded ``size``-row pages, in order."""
+        for n in range(self.num_pages(size)):
+            yield self.page(n, size)
+
+    # ------------------------------------------------------- serialization
+
+    def to_json_dict(self) -> dict:
+        """Strict-JSON-safe wire form (exact round-trip via
+        :meth:`from_json_dict`); the CLI ``--json`` mode, the HTTP server
+        and the client all use exactly this encoding."""
+        return {
+            "names": list(self.names),
+            "dtypes": [_dtype_token(c) for c in self.columns],
+            "columns": [[_encode_value(v) for v in c] for c in self.columns],
+            "num_rows": self.num_rows,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "QueryResult":
+        """Rebuild a result from its :meth:`to_json_dict` form."""
+        names = list(payload["names"])
+        dtypes = list(payload["dtypes"])
+        columns = [
+            _decode_column(col, dtype)
+            for col, dtype in zip(payload["columns"], dtypes)
+        ]
+        return cls(names, columns)
 
     # ---------------------------------------------------------- comparison
 

@@ -1,0 +1,19 @@
+"""The network serving layer: the adaptive engine as a query server.
+
+``repro serve`` (or :class:`ReproServer` programmatically) puts an
+HTTP/JSON front door on one shared :class:`~repro.core.engine.NoDBEngine`
+— the concurrency machinery (per-table RW locks, single-flight shared
+scans, the result cache, the persistent store) finally serves real
+concurrent clients instead of in-process threads.
+
+Stdlib only (``http.server``); results are persisted as addressable
+resources and delivered in bounded pages (:mod:`repro.server.results`);
+per-client admission control sheds load with 429 + ``Retry-After``
+(:mod:`repro.server.admission`).
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.app import ReproServer
+from repro.server.results import ResultManager
+
+__all__ = ["AdmissionController", "ReproServer", "ResultManager"]

@@ -1,0 +1,104 @@
+"""Per-client admission control and global backpressure.
+
+A long-lived query server must shed load rather than queue unboundedly:
+every ``POST /query`` first passes this controller, which enforces
+
+* a **global** in-flight cap (one shared semaphore's worth of queries may
+  be executing at once, across all clients), and
+* a **per-client** in-flight cap (one greedy client cannot occupy every
+  slot; clients are identified by the ``X-Repro-Client`` header, falling
+  back to the peer address).
+
+Rejections never block: the controller raises
+:class:`~repro.errors.OverloadedError` immediately, which the HTTP layer
+maps to ``429 Too Many Requests`` with a ``Retry-After`` hint — the
+wire-visible form of backpressure.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.errors import OverloadedError
+
+
+class AdmissionController:
+    """Non-blocking in-flight caps: global and per client."""
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_inflight_per_client: int = 2,
+        retry_after_s: float = 1.0,
+    ) -> None:
+        if max_inflight <= 0:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
+        if max_inflight_per_client <= 0:
+            raise ValueError(
+                "max_inflight_per_client must be positive, "
+                f"got {max_inflight_per_client}"
+            )
+        self.max_inflight = max_inflight
+        self.max_inflight_per_client = max_inflight_per_client
+        self.retry_after_s = retry_after_s
+        self._lock = threading.Lock()
+        self._global_inflight = 0
+        self._per_client: dict[str, int] = {}
+        self.admitted = 0
+        self.rejected_global = 0
+        self.rejected_client = 0
+
+    def acquire(self, client: str) -> None:
+        """Claim one slot for ``client`` or raise :class:`OverloadedError`."""
+        with self._lock:
+            if self._global_inflight >= self.max_inflight:
+                self.rejected_global += 1
+                raise OverloadedError(
+                    f"server at capacity ({self.max_inflight} queries in flight)",
+                    retry_after_s=self.retry_after_s,
+                )
+            if self._per_client.get(client, 0) >= self.max_inflight_per_client:
+                self.rejected_client += 1
+                raise OverloadedError(
+                    f"client {client!r} already has "
+                    f"{self.max_inflight_per_client} queries in flight",
+                    retry_after_s=self.retry_after_s,
+                )
+            self._global_inflight += 1
+            self._per_client[client] = self._per_client.get(client, 0) + 1
+            self.admitted += 1
+
+    def release(self, client: str) -> None:
+        """Return one slot (idempotence is the caller's responsibility)."""
+        with self._lock:
+            self._global_inflight = max(0, self._global_inflight - 1)
+            remaining = self._per_client.get(client, 0) - 1
+            if remaining > 0:
+                self._per_client[client] = remaining
+            else:
+                self._per_client.pop(client, None)
+
+    @contextmanager
+    def admitted_slot(self, client: str):
+        """``with``-scoped acquire/release for fully-synchronous requests."""
+        self.acquire(client)
+        try:
+            yield
+        finally:
+            self.release(client)
+
+    def snapshot(self) -> dict:
+        """JSON-safe counters for the ``/stats`` endpoint."""
+        with self._lock:
+            return {
+                "inflight": self._global_inflight,
+                "max_inflight": self.max_inflight,
+                "max_inflight_per_client": self.max_inflight_per_client,
+                "admitted": self.admitted,
+                "rejected_global": self.rejected_global,
+                "rejected_client": self.rejected_client,
+            }
+
+
+__all__ = ["AdmissionController"]

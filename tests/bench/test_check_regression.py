@@ -112,6 +112,7 @@ def test_committed_baseline_is_valid():
         "parallel_scan",
         "persistence",
         "selective_read",
+        "server",
         "tokenize",
     }
     for entry in payload["benches"].values():

@@ -1,0 +1,45 @@
+"""Fixtures for the HTTP serving-layer suite: one live server per test.
+
+Every fixture boots a real ``ReproServer`` on an ephemeral port and talks
+to it through ``repro.client.RemoteConnection`` — the same stdlib wire
+path applications use — so these tests cover serialization, routing and
+status codes end to end, not just the dispatch table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EngineConfig, NoDBEngine
+from repro.client import RemoteConnection
+from repro.server import ReproServer
+
+
+@pytest.fixture
+def server_factory():
+    """Build live servers with arbitrary knobs; closes them at teardown."""
+    servers: list[ReproServer] = []
+
+    def make(config: EngineConfig | None = None, **server_kwargs) -> ReproServer:
+        engine = NoDBEngine(config or EngineConfig())
+        server = ReproServer(engine, port=0, owns_engine=True, **server_kwargs)
+        servers.append(server)
+        return server.start()
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+@pytest.fixture
+def served(server_factory, small_csv):
+    """A running server with the shared small table attached as ``r``."""
+    server = server_factory()
+    server.engine.attach("r", small_csv)
+    return server
+
+
+@pytest.fixture
+def remote(served):
+    """A wire client bound to the ``served`` fixture."""
+    return RemoteConnection(served.url, client_id="pytest")

@@ -1,0 +1,124 @@
+"""Backpressure on the wire: 429 + Retry-After, and clean query timeouts."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import OverloadedError, QueryTimeoutError
+from repro.client import RemoteConnection
+from repro.server.admission import AdmissionController
+
+
+class _BlockedEngine:
+    """Wrap ``engine.query`` so test code controls when queries finish."""
+
+    def __init__(self, server):
+        self.started = threading.Semaphore(0)
+        self.release = threading.Event()
+        real_query = server.engine.query
+
+        def blocked(sql):
+            self.started.release()
+            assert self.release.wait(timeout=30), "test never released the query"
+            return real_query(sql)
+
+        server.engine.query = blocked
+
+
+def _wait_until(predicate, timeout_s: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.01)
+
+
+def test_global_cap_rejects_with_429_and_retry_after(server_factory, small_csv):
+    server = server_factory(max_inflight=2, max_inflight_per_client=2)
+    server.engine.attach("r", small_csv)
+    gate = _BlockedEngine(server)
+    sql = "select count(*) from r"
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        futures = [
+            pool.submit(RemoteConnection(server.url, client_id=f"c{i}").execute, sql)
+            for i in range(2)
+        ]
+        gate.started.acquire(timeout=10)
+        gate.started.acquire(timeout=10)
+
+        with pytest.raises(OverloadedError) as excinfo:
+            RemoteConnection(server.url, client_id="c9").execute(sql)
+        assert excinfo.value.code == "overloaded"
+        assert excinfo.value.http_status == 429
+        # Retry-After header round-trips into the client-side exception.
+        assert excinfo.value.retry_after_s >= 1.0
+
+        gate.release.set()
+        for future in futures:
+            assert future.result(timeout=30).rows() == [(500,)]
+    assert server.admission.snapshot()["rejected_global"] == 1
+    # Slots drain once the queries finish; fresh work is admitted again.
+    _wait_until(lambda: server.admission.snapshot()["inflight"] == 0)
+    assert RemoteConnection(server.url).execute(sql).rows() == [(500,)]
+
+
+def test_per_client_cap_rejects_only_the_greedy_client(server_factory, small_csv):
+    server = server_factory(max_inflight=8, max_inflight_per_client=1)
+    server.engine.attach("r", small_csv)
+    gate = _BlockedEngine(server)
+    greedy = RemoteConnection(server.url, client_id="greedy")
+    sql = "select count(*) from r"
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        future = pool.submit(greedy.execute, sql)
+        gate.started.acquire(timeout=10)
+        with pytest.raises(OverloadedError):
+            greedy.execute(sql)
+        gate.release.set()
+        assert future.result(timeout=30).rows() == [(500,)]
+    snap = server.admission.snapshot()
+    assert snap["rejected_client"] == 1
+    assert snap["rejected_global"] == 0
+
+
+def test_timeout_is_504_and_keeps_the_slot_until_the_query_ends(
+    server_factory, small_csv
+):
+    server = server_factory(query_timeout_s=0.2, max_inflight=4)
+    server.engine.attach("r", small_csv)
+    gate = _BlockedEngine(server)
+    remote = RemoteConnection(server.url)
+    with pytest.raises(QueryTimeoutError) as excinfo:
+        remote.execute("select count(*) from r")
+    assert excinfo.value.code == "query_timeout"
+    assert excinfo.value.http_status == 504
+    # The engine is still chewing on the query: its admission slot must
+    # stay occupied (timeouts do not defeat backpressure) ...
+    assert server.admission.snapshot()["inflight"] == 1
+    gate.release.set()
+    # ... and drain only when the query genuinely finishes.
+    _wait_until(lambda: server.admission.snapshot()["inflight"] == 0)
+
+
+def test_controller_validates_and_counts():
+    with pytest.raises(ValueError):
+        AdmissionController(max_inflight=0)
+    with pytest.raises(ValueError):
+        AdmissionController(max_inflight_per_client=0)
+    ctrl = AdmissionController(max_inflight=2, max_inflight_per_client=1)
+    with ctrl.admitted_slot("a"):
+        with ctrl.admitted_slot("b"):
+            with pytest.raises(OverloadedError):
+                ctrl.acquire("c")  # global cap
+        with pytest.raises(OverloadedError):
+            ctrl.acquire("a")  # per-client cap
+    assert ctrl.snapshot() == {
+        "inflight": 0,
+        "max_inflight": 2,
+        "max_inflight_per_client": 1,
+        "admitted": 2,
+        "rejected_global": 1,
+        "rejected_client": 1,
+    }

@@ -216,3 +216,61 @@ def test_table_names():
 
     assert table_names([Path("a")]) == ["t"]
     assert table_names([Path("a"), Path("b")]) == ["t1", "t2"]
+
+
+class TestJsonMode:
+    def test_json_is_the_wire_encoding(self, small_csv):
+        import json
+
+        code, out, err = run_cli(
+            "--json", "select sum(a1), count(*) from t", str(small_csv)
+        )
+        assert code == 0, err
+        payload = json.loads(out)
+        assert payload["dtypes"] == ["int64", "int64"]
+        assert payload["columns"][1] == [500]
+
+        from repro.result import QueryResult
+
+        assert QueryResult.from_json_dict(payload).num_rows == 1
+
+
+class TestServeSubcommand:
+    def test_build_server_from_args(self, small_csv):
+        from repro.cli import build_serve_arg_parser, build_server_from_args
+
+        args = build_serve_arg_parser().parse_args(
+            [
+                str(small_csv),
+                "--port", "0",
+                "--policy", "column_loads",
+                "--max-inflight", "3",
+                "--query-timeout", "9",
+                "--page-size", "123",
+                "--result-ttl", "45",
+            ]
+        )
+        server = build_server_from_args(args)
+        try:
+            assert server.engine.tables() == ["t"]
+            assert server.admission.max_inflight == 3
+            assert server.query_timeout_s == 9.0
+            assert server.default_page_size == 123
+            assert server.results.ttl_s == 45.0
+            assert server.owns_engine
+        finally:
+            server.close()
+
+    def test_serve_roundtrip_over_a_socket(self, small_csv):
+        from repro.cli import build_serve_arg_parser, build_server_from_args
+        from repro.client import RemoteConnection
+
+        args = build_serve_arg_parser().parse_args([str(small_csv), "--port", "0"])
+        server = build_server_from_args(args)
+        try:
+            server.start()
+            conn = RemoteConnection(server.url)
+            assert conn.tables() == ["t"]
+            assert conn.execute("select count(*) from t").rows() == [(500,)]
+        finally:
+            server.close()

@@ -1,0 +1,111 @@
+"""QueryResult paging and JSON wire round-trip invariants."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.result import QueryResult
+
+
+def make(nrows: int) -> QueryResult:
+    return QueryResult(
+        ["i", "f", "s"],
+        [
+            np.arange(nrows, dtype=np.int64),
+            np.arange(nrows, dtype=np.float64) / 8,
+            np.array([f"v{i}" for i in range(nrows)], dtype=object),
+        ],
+    )
+
+
+class TestPaging:
+    @given(nrows=st.integers(0, 50), size=st.integers(1, 60))
+    def test_pages_partition_the_rows(self, nrows, size):
+        result = make(nrows)
+        pages = list(result.pages(size))
+        assert len(pages) == result.num_pages(size) == max(1, -(-nrows // size))
+        assert all(p.num_rows <= size for p in pages)
+        assert [r for p in pages for r in p.rows()] == result.rows()
+
+    def test_empty_result_has_one_empty_page(self):
+        result = make(0)
+        assert result.num_pages(10) == 1
+        assert result.page(0, 10).num_rows == 0
+
+    def test_page_bounds_are_checked(self):
+        result = make(10)
+        with pytest.raises(IndexError):
+            result.page(2, 5)
+        with pytest.raises(IndexError):
+            result.page(-1, 5)
+        with pytest.raises(ValueError):
+            result.num_pages(0)
+
+    def test_slice_rows_preserves_names_and_dtypes(self):
+        sliced = make(10).slice_rows(3, 7)
+        assert sliced.names == ["i", "f", "s"]
+        assert sliced.num_rows == 4
+        assert sliced.columns[0].dtype == np.int64
+        assert list(sliced.columns[0]) == [3, 4, 5, 6]
+
+
+class TestJsonRoundTrip:
+    def test_exact_roundtrip_through_strict_json_text(self):
+        result = make(17)
+        text = json.dumps(result.to_json_dict(), allow_nan=False)
+        back = QueryResult.from_json_dict(json.loads(text))
+        assert back.names == result.names
+        assert [c.dtype.kind for c in back.columns] == ["i", "f", "O"]
+        assert back.rows() == result.rows()
+
+    def test_nonfinite_floats_survive_as_string_sentinels(self):
+        result = QueryResult(
+            ["x"], [np.array([1.5, math.nan, math.inf, -math.inf])]
+        )
+        payload = result.to_json_dict()
+        assert payload["columns"][0] == [1.5, "NaN", "Infinity", "-Infinity"]
+        json.dumps(payload, allow_nan=False)  # strict JSON by construction
+        back = QueryResult.from_json_dict(payload)
+        assert back.columns[0][0] == 1.5
+        assert math.isnan(back.columns[0][1])
+        assert back.columns[0][2] == math.inf
+        assert back.columns[0][3] == -math.inf
+
+    def test_string_column_may_contain_sentinel_lookalikes(self):
+        # "NaN" in a *string* column must stay a string after the trip.
+        result = QueryResult(
+            ["s"], [np.array(["NaN", "Infinity", "plain"], dtype=object)]
+        )
+        back = QueryResult.from_json_dict(result.to_json_dict())
+        assert list(back.columns[0]) == ["NaN", "Infinity", "plain"]
+        assert back.columns[0].dtype.kind == "O"
+
+    def test_dtype_tokens_are_the_wire_vocabulary(self):
+        payload = make(3).to_json_dict()
+        assert payload["dtypes"] == ["int64", "float64", "str"]
+        assert payload["num_rows"] == 3
+
+    @given(
+        ints=st.lists(st.integers(-(2**40), 2**40), min_size=1, max_size=20),
+        floats=st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=64),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_property_roundtrip(self, ints, floats):
+        n = min(len(ints), len(floats))
+        result = QueryResult(
+            ["a", "b"],
+            [np.array(ints[:n], dtype=np.int64), np.array(floats[:n])],
+        )
+        text = json.dumps(result.to_json_dict(), allow_nan=False)
+        back = QueryResult.from_json_dict(json.loads(text))
+        assert back.approx_equal(result)
+        assert list(back.columns[0]) == list(result.columns[0])
