@@ -88,6 +88,27 @@ class EngineConfig:
     predicate_pushdown:
         Apply WHERE predicates while parsing, abandoning a row as soon as
         one conjunct fails (the "Partial Loads" trick of section 3.2).
+    zone_maps:
+        Learn per-zone (fixed row range) min/max/null-count statistics
+        for numeric columns as a side effect of full-row passes, and use
+        them on the selective-read path to skip the window reads of
+        zones a range predicate cannot match.  Off is the ablation
+        baseline.
+    zone_map_rows:
+        Rows per zone.  Smaller zones skip more precisely but cost more
+        statistics; the default keeps the statistics a negligible
+        fraction of the column.
+    cracking:
+        Allow warm queries over fully resident numeric columns to build
+        and use a :class:`~repro.cracking.cracker.CrackerColumn` per hot
+        predicate column, answering range selections from the cracker
+        index instead of full-column masks.  Crackers are budgeted by
+        the memory manager and invalidated with the rest of the learned
+        state when the source file changes.
+    crack_after:
+        Build a column's cracker once the monitor has seen this many
+        warm range scans against it (``1`` cracks eagerly; higher values
+        make one-off predicates stay on the cheap mask route).
     splitfile_dir:
         Where split (cracked) per-column files are written.  Defaults to a
         per-engine temporary directory.
@@ -157,6 +178,10 @@ class EngineConfig:
     vectorized_tokenizer: bool = True
     tokenizer_early_abort: bool = True
     predicate_pushdown: bool = True
+    zone_maps: bool = True
+    zone_map_rows: int = 1024
+    cracking: bool = True
+    crack_after: int = 3
     splitfile_dir: Path | None = None
     auto_invalidate: bool = True
     io_bandwidth_bytes_per_sec: float | None = None
@@ -188,6 +213,10 @@ class EngineConfig:
             )
         if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
             raise ValueError("memory_budget_bytes must be positive or None")
+        if self.zone_map_rows <= 0:
+            raise ValueError("zone_map_rows must be positive")
+        if self.crack_after < 1:
+            raise ValueError("crack_after must be >= 1")
         if self.max_cached_results <= 0:
             raise ValueError("max_cached_results must be positive")
         if self.splitfile_dir is not None:

@@ -255,6 +255,10 @@ class NoDBEngine:
         qstats.went_to_file = any(v.went_to_file for v in views.values())
         qstats.result_rows = result.num_rows
         qstats.elapsed_s = total.lap()
+        if qstats.zone_map_skips:
+            self.stats.count("zone_map_skips", qstats.zone_map_skips)
+        if qstats.cracks:
+            self.stats.count("cracks", qstats.cracks)
         self.stats.record(qstats)
         self.monitor.observe(qstats, self.memory.stats.evictions)
         result.stats = {
@@ -569,6 +573,7 @@ class NoDBEngine:
             qstats=qstats,
             split=split,
             binary=self.binary_store,
+            advisor=self.monitor.cracking,
         )
 
     def _pin_resident(self, entry: TableEntry, needed: list[str], ctx: LoadContext) -> None:
@@ -647,6 +652,7 @@ class NoDBEngine:
         entry.table = Table(entry.name, entry.schema, state.nrows)
         entry.positional_map = state.positional_map
         entry.partitions = state.partitions
+        entry.zone_maps = state.zone_maps
         entry.loaded_fingerprint = fingerprint
         for name, values in state.columns.items():
             pc = entry.table.column(name)
@@ -685,6 +691,9 @@ class NoDBEngine:
             frozenset(c for c in pm.field_offsets if c in pm.field_ends),
             pm.row_offsets is not None,
             entry.partitions is not None,
+            frozenset(entry.zone_maps.columns)
+            if entry.zone_maps is not None
+            else frozenset(),
         )
 
     def _schedule_persist(
@@ -800,6 +809,9 @@ class NoDBEngine:
         if entry.table is not None:
             for pc in entry.table.columns.values():
                 self.memory.forget((entry.table.name, pc.name))
+        for col in list(entry.crackers):
+            self.memory.forget(entry.cracker_key(col))
+        self.monitor.cracking.forget_table(entry.name.lower())
         entry.invalidate()  # destroys the entry's split catalog too
         if self.binary_store is not None:
             self.binary_store.drop_table(entry.name)

@@ -56,7 +56,8 @@ from repro.flatfile.tokenizer import (
     gather_fields,
     tokenize_bytes,
 )
-from repro.ranges import Condition
+from repro.core.zonemaps import ZoneMapIndex
+from repro.ranges import Condition, ValueInterval
 from repro.storage.catalog import TableEntry
 
 
@@ -70,6 +71,7 @@ class PassResult:
     tokenizer: TokenizerStats = field(default_factory=TokenizerStats)
     parse: ParseStats = field(default_factory=ParseStats)
     partitions: int = 0  # row-range partitions scanned in parallel (0 = serial)
+    zone_map_skips: int = 0  # zones skipped by zone-map pruning
 
     @property
     def is_full_rows(self) -> bool:
@@ -94,6 +96,10 @@ def _widen_column(entry: TableEntry, idx: int, to_dtype: DataType) -> None:
     if current.dtype is to_dtype:
         return
     schema.columns[idx] = ColumnSchema(current.name, to_dtype)
+    if entry.zone_maps is not None:
+        # Min/max learned under the narrower type no longer describe the
+        # values predicates will compare against; relearn on a later pass.
+        entry.zone_maps.drop_column(idx)
     if entry.table is not None:
         pc = entry.table.columns.get(current.name.lower())
         if pc is not None:
@@ -259,9 +265,12 @@ def run_pass(
         predicates = _pushdown_predicates(
             entry, condition if pushdown else None, config, parse_stats
         )
-        return _selective_pass(
-            entry, schema, needed, predicates, pmap, config, parse_stats
+        intervals = {schema.index_of(c): iv for c, iv in pushdown_items}
+        result = _selective_pass(
+            entry, schema, needed, predicates, intervals, pmap, config, parse_stats
         )
+        _learn_zone_maps(entry, schema, result, config)
+        return result
     pindex = partitions_for(entry, config)
     if pindex is not None:
         result = parallel_pass(
@@ -275,6 +284,7 @@ def run_pass(
             early_abort=early_abort,
         )
         if result is not None:  # None: pool failed to start -> serial
+            _learn_zone_maps(entry, schema, result, config)
             return result
     predicates = _pushdown_predicates(
         entry, condition if pushdown else None, config, parse_stats
@@ -300,13 +310,15 @@ def run_pass(
         columns[schema.columns[idx].name] = parse_column_with_widening(
             entry, idx, raw, parse_stats
         )
-    return PassResult(
+    out = PassResult(
         nrows=nrows,
         columns=columns,
         row_ids=result.row_ids,
         tokenizer=result.stats,
         parse=parse_stats,
     )
+    _learn_zone_maps(entry, schema, out, config)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -375,6 +387,7 @@ def _selective_pass(
     schema: TableSchema,
     needed: list[str],
     predicates: dict[int, RawPredicate],
+    intervals: dict[int, ValueInterval],
     pmap: PositionalMap,
     config: EngineConfig,
     parse_stats: ParseStats,
@@ -385,17 +398,42 @@ def _selective_pass(
     each predicate column is gathered only for the rows still in play, so
     a failing early predicate spares all later columns' bytes for that row
     — the byte-range analogue of abandoning a row mid-tokenization.
+
+    Zone maps sharpen this further: before any window read, rows in
+    zones whose min/max statistics prove the range predicate cannot
+    match are dropped from the candidate set, so their bytes are never
+    requested at all.  Skipping is sound because zones only exist for
+    columns whose every value parsed under the current schema type (a
+    widening drops the column's zones), and the zone test uses the same
+    comparison operators as the predicate itself.
     """
     nrows = int(pmap.nrows)
     stats = TokenizerStats()
     stats.rows_scanned = nrows
     candidates = np.arange(nrows, dtype=np.int64)
+    zone_skips = 0
+    zmi = entry.zone_maps if config.zone_maps else None
+    if zmi is not None and zmi.nrows == nrows:
+        for col, interval in intervals.items():
+            keep = zmi.zone_keep_mask(col, interval)
+            if keep is None or bool(keep.all()):
+                continue
+            before = len(candidates)
+            candidates = candidates[keep[zmi.zone_of_rows(candidates)]]
+            zone_skips += int(len(keep) - keep.sum())
+            stats.rows_abandoned += before - len(candidates)
     gathered: dict[int, list[str]] = {}
     gathered_rows: dict[int, np.ndarray] = {}
     for col in sorted(predicates):
         values = _gather_column(entry, pmap, col, candidates, config, stats)
         gathered[col] = values
         gathered_rows[col] = candidates
+        if config.zone_maps and len(values) == nrows:
+            # The first predicate column is gathered for every row (no
+            # zones narrowed it yet): learn its zones so the next warm
+            # query can skip — the partial-loads analogue of learning
+            # during cold scans.
+            _learn_zones_from_text(entry, schema, col, values, config)
         pred = predicates[col]
         keep = np.fromiter(
             (pred(v) for v in values), dtype=bool, count=len(values)
@@ -455,7 +493,73 @@ def _selective_pass(
         row_ids=candidates,
         tokenizer=stats,
         parse=parse_stats,
+        zone_map_skips=zone_skips,
     )
+
+
+# ---------------------------------------------------------------------------
+# zone-map learning (the skipping by-product of passes that parse full rows)
+# ---------------------------------------------------------------------------
+
+
+def _zone_index(entry: TableEntry, nrows: int, config: EngineConfig) -> ZoneMapIndex:
+    """The entry's zone-map index, created lazily (write lock held)."""
+    zmi = entry.zone_maps
+    if zmi is None or zmi.nrows != nrows:
+        zmi = ZoneMapIndex(nrows=nrows, zone_rows=config.zone_map_rows)
+        entry.zone_maps = zmi
+    return zmi
+
+
+def _learn_zone_maps(
+    entry: TableEntry,
+    schema: TableSchema,
+    result: PassResult,
+    config: EngineConfig,
+) -> None:
+    """Zone-map numeric columns a pass parsed for every row.
+
+    The vectorized tokenizer already touched every value to produce the
+    typed arrays, so the per-zone min/max/null-count reductions ride
+    along nearly for free.  Only full-row results qualify (a predicate
+    pass's surviving rows say nothing about the rows it abandoned), and
+    all ``run_pass`` callers hold the table write lock — zone maps are
+    mutated exactly like the positional map.
+    """
+    if not config.zone_maps or result.nrows <= 0 or not result.is_full_rows:
+        return
+    for name, values in result.columns.items():
+        if values.dtype.kind not in "if":
+            continue
+        idx = schema.index_of(name)
+        zmi = _zone_index(entry, result.nrows, config)
+        if not zmi.has(idx):
+            zmi.learn(idx, values)
+
+
+def _learn_zones_from_text(
+    entry: TableEntry,
+    schema: TableSchema,
+    col: int,
+    texts: list[str],
+    config: EngineConfig,
+) -> None:
+    """Zone-map a predicate column gathered for every row (text form).
+
+    Parses under the current schema type with throwaway stats — this is
+    index maintenance, not query-answer work.  Any parse failure
+    declines silently; the predicate path itself handles widening.
+    """
+    if entry.zone_maps is not None and entry.zone_maps.has(col):
+        return
+    dtype = schema.columns[col].dtype
+    if not dtype.is_numeric:
+        return
+    try:
+        values = parse_fields(texts, dtype, ParseStats())
+    except FlatFileError:
+        return
+    _zone_index(entry, len(texts), config).learn(col, values)
 
 
 def full_load_pass(entry: TableEntry, config: EngineConfig) -> PassResult:

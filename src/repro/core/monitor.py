@@ -23,6 +23,7 @@ operator's (or a future auto-tuner's) decision.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.statistics import QueryStats
@@ -37,6 +38,36 @@ class PolicyAdvice:
 
 
 @dataclass
+class CrackingAdvisor:
+    """Counts warm range scans per (table, column) to justify cracking.
+
+    Building a cracker copies the whole column; the copy only pays off
+    when the same predicate column keeps coming back.  The warm path
+    asks this advisor on every crackable range scan and cracks once the
+    count reaches ``EngineConfig.crack_after``.  Thread-safe: warm
+    serves run concurrently under the shared read lock.
+    """
+
+    counts: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def note_range_scan(self, table_key: str, column: str) -> int:
+        """Record one warm range scan; returns the running count."""
+        key = (table_key, column.lower())
+        with self._lock:
+            self.counts[key] = self.counts.get(key, 0) + 1
+            return self.counts[key]
+
+    def forget_table(self, table_key: str) -> None:
+        """Reset a table's counts (its crackers were just invalidated)."""
+        with self._lock:
+            for key in [k for k in self.counts if k[0] == table_key]:
+                del self.counts[key]
+
+
+@dataclass
 class RobustnessMonitor:
     """Sliding-window workload/performance watcher."""
 
@@ -44,6 +75,8 @@ class RobustnessMonitor:
     window: int = 8
     evictions_seen: int = 0
     history: list[QueryStats] = field(default_factory=list)
+    #: Decides when repeated range predicates justify cracking a column.
+    cracking: CrackingAdvisor = field(default_factory=CrackingAdvisor)
 
     def observe(self, qstats: QueryStats, evictions_total: int = 0) -> None:
         self.history.append(qstats)

@@ -24,6 +24,7 @@ view is built.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,10 +38,12 @@ from repro.core.loader import (
     parse_column_with_widening,
     partial_load_pass,
 )
+from repro.core.monitor import CrackingAdvisor
 from repro.core.splitfile import SplitFileCatalog
 from repro.core.statistics import QueryStats
+from repro.cracking.cracker import CrackerColumn
 from repro.errors import ExecutionError
-from repro.ranges import Condition
+from repro.ranges import Condition, ValueInterval
 from repro.storage.binarystore import BinaryStore
 from repro.storage.catalog import TableEntry
 from repro.storage.memory import MemoryManager
@@ -60,6 +63,9 @@ class LoadContext:
     qstats: QueryStats
     split: SplitFileCatalog | None = None
     binary: BinaryStore | None = None
+    #: The engine monitor's cracking advisor (None in bare-policy tests:
+    #: the warm path then never cracks).
+    advisor: CrackingAdvisor | None = None
     #: Memory-manager pins this context holds; the engine releases them
     #: (one :meth:`MemoryManager.unpin` each) once the view is built.
     pinned_keys: list[tuple[str, str]] = field(default_factory=list)
@@ -145,6 +151,98 @@ class LoadingPolicy:
         )
 
     @staticmethod
+    def _warm_cracked(ctx: LoadContext) -> TableView | None:
+        """Serve a range query through a cracked column, or decline.
+
+        The warm-path strategy above plain masks: once the advisor has
+        seen ``config.crack_after`` warm range scans against a fully
+        resident numeric column, a :class:`CrackerColumn` copy of it is
+        built, and range selections are answered by cracker-index binary
+        search plus at most two edge-piece partitions — O(result) work
+        instead of O(rows) masks.
+
+        Runs under the shared *read* lock like every warm serve.  The
+        cracker owns a copy of the base column and is only mutated under
+        ``entry.cracker_lock``, so the read-lock contract (no entry,
+        store or posmap mutation) holds.  The returned view presents
+        exactly the qualifying rows in file order; the executor
+        re-applies the WHERE conjuncts, which is then a no-op.
+        """
+        cfg = ctx.config
+        if not cfg.cracking or ctx.advisor is None or ctx.condition.is_trivial():
+            return None
+        entry = ctx.entry
+        table = entry.table
+        if table is None:
+            return None
+        # Pin-then-check every column the query touches (needed plus all
+        # condition columns), exactly like _warm_full_columns: any miss
+        # declines to the load path.
+        cond_cols = [c for c, _ in ctx.condition.items]
+        pcs = {}
+        for name in dict.fromkeys([n.lower() for n in ctx.needed] + cond_cols):
+            pc = table.columns.get(name)
+            if pc is None or not ctx.pin((table.name, pc.name)):
+                return None
+            if not pc.is_fully_loaded or pc.values is None:
+                return None
+            pcs[name] = pc
+        crack_on = None
+        for col, interval in ctx.condition.items:
+            if pcs[col].values.dtype.kind in "ifu" and _crackable(interval):
+                crack_on = (col, interval)
+                break
+        if crack_on is None:
+            return None
+        col, interval = crack_on
+        hot = ctx.advisor.note_range_scan(entry.name.lower(), col)
+        if hot < cfg.crack_after and col not in entry.crackers:
+            return None  # not hot enough yet: the mask route serves
+        key = entry.cracker_key(col)
+        with entry.cracker_lock:
+            cracker = entry.crackers.get(col)
+            if cracker is None:
+                cracker = CrackerColumn(pcs[col].values)
+                entry.crackers[col] = cracker
+                ctx.memory.register(
+                    key,
+                    cracker.values.nbytes + cracker.rowids.nbytes,
+                    dropper=lambda e=entry, c=col: e.crackers.pop(c, None),
+                    pinned=True,
+                )
+                ctx.pinned_keys.append(key)
+            elif ctx.pin(key):
+                ctx.memory.touch(key)
+            else:
+                # Evicted between the dict read and the pin: drop the
+                # orphan and let a later query rebuild.
+                entry.crackers.pop(col, None)
+                return None
+            before = cracker.stats.cracks
+            rowids = np.sort(cracker.select_rowids(interval))
+            ctx.qstats.cracks += cracker.stats.cracks - before
+        # Exact qualifying set: re-mask every conjunct over the cracked
+        # candidates.  For the cracked column this pins down open/closed
+        # edges and NaNs (which the cracker keeps right of every cut);
+        # for the others it is the usual residual-range filtering.
+        keep = np.ones(len(rowids), dtype=bool)
+        for ccol, cinterval in ctx.condition.items:
+            keep &= cinterval.mask(pcs[ccol].values[rowids])
+        rowids = rowids[keep]
+        arrays = {}
+        for name in ctx.needed:
+            pc = pcs[name.lower()]
+            ctx.memory.touch((table.name, pc.name))
+            arrays[name.lower()] = pc.values[rowids]
+        ctx.qstats.served_by_cracker = True
+        return TableView(
+            nrows=len(rowids),
+            arrays=arrays,
+            served_from_store=True,
+            went_to_file=False,
+        )
+
+    @staticmethod
     def _absorb_pass(ctx: LoadContext, result: PassResult) -> None:
         ctx.qstats.tokenizer.merge(result.tokenizer)
         ctx.qstats.parse.merge(result.parse)
@@ -152,6 +250,7 @@ class LoadingPolicy:
         ctx.qstats.parallel_partitions = max(
             ctx.qstats.parallel_partitions, result.partitions
         )
+        ctx.qstats.zone_map_skips += result.zone_map_skips
 
     @staticmethod
     def _store_full_columns(
@@ -208,6 +307,23 @@ class LoadingPolicy:
         )
 
 
+def _crackable(interval: ValueInterval) -> bool:
+    """Can a cracker answer this interval?  Needs at least one finite,
+    non-bool numeric bound (NaN pivots are refused by the cracker)."""
+    if interval.lo is None and interval.hi is None:
+        return False
+    for bound in (interval.lo, interval.hi):
+        if bound is None:
+            continue
+        if isinstance(bound, bool) or not isinstance(
+            bound, (int, float, np.integer, np.floating)
+        ):
+            return False
+        if isinstance(bound, (float, np.floating)) and math.isnan(bound):
+            return False
+    return True
+
+
 def _register(ctx: LoadContext, table: Table, column_name: str) -> None:
     pc = table.column(column_name)
     key = (table.name, pc.name)
@@ -236,7 +352,7 @@ class FullLoadPolicy(LoadingPolicy):
     name = "fullload"
 
     def try_serve_warm(self, ctx: LoadContext) -> TableView | None:
-        return self._warm_full_columns(ctx)
+        return self._warm_cracked(ctx) or self._warm_full_columns(ctx)
 
     def provide(self, ctx: LoadContext) -> TableView:
         entry = ctx.entry
@@ -301,7 +417,7 @@ class ColumnLoadsPolicy(LoadingPolicy):
     name = "column_loads"
 
     def try_serve_warm(self, ctx: LoadContext) -> TableView | None:
-        return self._warm_full_columns(ctx)
+        return self._warm_cracked(ctx) or self._warm_full_columns(ctx)
 
     def provide(self, ctx: LoadContext) -> TableView:
         entry = ctx.entry
@@ -455,7 +571,7 @@ class SplitFilesPolicy(LoadingPolicy):
     name = "splitfiles"
 
     def try_serve_warm(self, ctx: LoadContext) -> TableView | None:
-        return self._warm_full_columns(ctx)
+        return self._warm_cracked(ctx) or self._warm_full_columns(ctx)
 
     def provide(self, ctx: LoadContext) -> TableView:
         entry = ctx.entry

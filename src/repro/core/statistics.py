@@ -44,6 +44,15 @@ class QueryStats:
     #: At least one of this query's tables was served from fragments
     #: loaded by a concurrent query's shared scan this query waited on.
     shared_scan_reused: bool = False
+    #: Zones (fixed row ranges) the selective path skipped because their
+    #: min/max statistics proved no row could match a range predicate.
+    zone_map_skips: int = 0
+    #: Crack operations (piece partitions) this query's warm serves
+    #: caused in cracked predicate columns.
+    cracks: int = 0
+    #: At least one table view was answered by a cracker index instead
+    #: of full-column masks.
+    served_by_cracker: bool = False
 
     def summary(self) -> str:
         src = "store" if self.served_from_store else "file"
@@ -73,6 +82,9 @@ class QueryStats:
             "parallel_partitions": self.parallel_partitions,
             "result_cache_hit": self.result_cache_hit,
             "shared_scan_reused": self.shared_scan_reused,
+            "zone_map_skips": self.zone_map_skips,
+            "cracks": self.cracks,
+            "served_by_cracker": self.served_by_cracker,
         }
 
 
@@ -115,6 +127,10 @@ class ConcurrencyCounters:
     #: Persisted entries deleted because their fingerprint mismatched the
     #: live file (staleness) or the in-memory table was invalidated.
     store_invalidations: int = 0
+    #: Zones skipped by zone-map pruning across all queries.
+    zone_map_skips: int = 0
+    #: Crack operations performed by warm serves across all queries.
+    cracks: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -126,6 +142,8 @@ class ConcurrencyCounters:
             "persist_writes": self.persist_writes,
             "restart_warm_hits": self.restart_warm_hits,
             "store_invalidations": self.store_invalidations,
+            "zone_map_skips": self.zone_map_skips,
+            "cracks": self.cracks,
         }
 
 

@@ -21,6 +21,7 @@ recorded cuts remain valid forever — the classic cracking invariant.
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,7 +47,9 @@ class CrackerColumn:
     """One cracked column plus its cracker index."""
 
     values: np.ndarray
-    rowids: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: ``None`` only before ``__post_init__`` narrows it to the identity
+    #: permutation; every method thereafter sees a real array.
+    rowids: np.ndarray | None = None
     cuts: list[tuple[tuple, int]] = field(default_factory=list)
     stats: CrackStats = field(default_factory=CrackStats)
 
@@ -88,6 +91,11 @@ class CrackerColumn:
         ``inclusive=True`` an LE cut (left side ``<= value``).  Idempotent:
         re-cracking an existing cut touches nothing.
         """
+        if isinstance(value, (float, np.floating)) and math.isnan(value):
+            # NaN compares False against everything: the "cut" would be a
+            # degenerate all-right partition whose meaning depends on
+            # comparison direction.  Refuse cleanly instead.
+            raise ExecutionError("cannot crack on a NaN pivot")
         key = (value, _LE if inclusive else _LT)
         existing = self._find_cut(key)
         if existing is not None:

@@ -53,6 +53,9 @@ class CrackingExecutor:
         """
         items = condition.items
         if not items:
+            if not self.columns:
+                # A zero-column table has no rows to enumerate.
+                return np.empty(0, dtype=np.int64)
             return np.arange(len(next(iter(self.columns.values()))), dtype=np.int64)
         first_col, first_interval = items[0]
         rowids = self._cracker(first_col).select_rowids(first_interval)

@@ -20,6 +20,8 @@ from repro.errors import CatalogError
 if TYPE_CHECKING:  # import would be circular at runtime (core -> storage)
     from repro.core.partitions import PartitionIndex
     from repro.core.splitfile import SplitFileCatalog
+    from repro.core.zonemaps import ZoneMapIndex
+    from repro.cracking.cracker import CrackerColumn
 from repro.flatfile.files import FileFingerprint, FlatFile
 from repro.flatfile.positions import PositionalMap
 from repro.flatfile.schema import TableSchema, infer_schema, looks_like_header
@@ -45,6 +47,22 @@ class TableEntry:
     #: Cached newline-aligned row-range partitioning (parallel scans);
     #: derived state like the positional map, invalidated with it.
     partitions: "PartitionIndex | None" = None
+    #: Per-zone min/max/null-count statistics learned beside the
+    #: partition plan as a side effect of full-row passes; lets the
+    #: selective path skip whole zones a range predicate cannot match.
+    zone_maps: "ZoneMapIndex | None" = None
+    #: Cracked copies of hot numeric predicate columns (warm path).
+    #: Built and reorganized under :attr:`cracker_lock`; dropped
+    #: wholesale whenever the source file's fingerprint changes.
+    crackers: dict[str, "CrackerColumn"] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Serializes cracker creation/reorganization.  Crackers own copies
+    #: of their base columns, so cracking mutates no entry/store state —
+    #: which is why warm serves may crack under the shared *read* lock.
+    cracker_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
     #: Split (cracked) per-column files for the splitfiles policy — owned
     #: by the entry (not an engine-wide name-keyed map) so a detached
     #: entry can never leak its catalog to a re-attached namesake.
@@ -127,6 +145,14 @@ class TableEntry:
             return False
         return self.file.fingerprint() != self.loaded_fingerprint
 
+    def cracker_key(self, column: str) -> tuple[str, str]:
+        """Memory-manager key of one cracked column.
+
+        The NUL byte keeps the namespace disjoint from the plain
+        ``(table, column)`` keys of store fragments (table names cannot
+        contain NUL)."""
+        return (f"{self.name.lower()}\x00crackers", column.lower())
+
     def invalidate(self) -> None:
         """Drop all derived state (loaded data, learned offsets, schema)."""
         if self.table is not None:
@@ -134,6 +160,8 @@ class TableEntry:
         self.table = None
         self.positional_map.clear()
         self.partitions = None
+        self.zone_maps = None
+        self.crackers.clear()
         if self.split_catalog is not None:
             self.split_catalog.destroy()
             self.split_catalog = None

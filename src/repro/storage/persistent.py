@@ -65,6 +65,7 @@ from repro.storage.binarystore import atomic_write_bytes
 
 if TYPE_CHECKING:  # import would be circular at runtime (core -> storage)
     from repro.core.partitions import PartitionIndex
+    from repro.core.zonemaps import ZoneMapIndex
     from repro.storage.catalog import TableEntry
 
 _VERSION = 1
@@ -86,6 +87,8 @@ class PersistedState:
     partitions: "PartitionIndex | None"
     #: Fully loaded columns only, keyed by schema-cased name.
     columns: dict[str, np.ndarray]
+    #: Per-zone min/max/null statistics (None when none were learned).
+    zone_maps: "ZoneMapIndex | None" = None
 
     @classmethod
     def from_entry(
@@ -119,6 +122,9 @@ class PersistedState:
             ),
             partitions=entry.partitions,
             columns=columns,
+            zone_maps=(
+                entry.zone_maps.snapshot() if entry.zone_maps is not None else None
+            ),
         )
 
 
@@ -299,6 +305,9 @@ class PersistentStore:
             "partitions": (
                 state.partitions.as_manifest() if state.partitions else None
             ),
+            "zone_maps": (
+                state.zone_maps.as_manifest() if state.zone_maps else None
+            ),
             "columns": col_manifest,
         }
         atomic_write_bytes(
@@ -388,6 +397,12 @@ class PersistentStore:
         if manifest.get("partitions"):
             partitions = PartitionIndex.from_manifest(manifest["partitions"])
 
+        zone_maps = None
+        if manifest.get("zone_maps"):
+            from repro.core.zonemaps import ZoneMapIndex
+
+            zone_maps = ZoneMapIndex.from_manifest(manifest["zone_maps"])
+
         columns: dict[str, np.ndarray] = {}
         for entry in (manifest.get("columns") or {}).values():
             name = str(entry["name"])
@@ -416,6 +431,7 @@ class PersistentStore:
             positional_map=pm,
             partitions=partitions,
             columns=columns,
+            zone_maps=zone_maps,
         )
 
     def _mapped_int64(self, edir: Path, filename: str, nrows) -> np.ndarray:

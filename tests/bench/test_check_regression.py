@@ -114,6 +114,7 @@ def test_committed_baseline_is_valid():
         "selective_read",
         "server",
         "tokenize",
+        "skipping",
     }
     for entry in payload["benches"].values():
         assert entry["metrics"], "every baselined bench gates >= 1 metric"
