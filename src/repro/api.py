@@ -63,7 +63,13 @@ class Connection:
         format: str | None = None,
         fixed_widths: tuple[int, ...] | None = None,
     ) -> None:
-        """Link a raw file as a queryable table.  No data is read."""
+        """Link a raw file as a queryable table.  No data is read.
+
+        ``path`` may also be a glob pattern (``logs/part-*.csv``) or a
+        directory: the table is then backed by every matching part file,
+        each with its own fingerprint and learned state, and new part
+        files are picked up automatically on the next query.
+        """
         self._engine.attach(
             name, path, delimiter=delimiter, format=format, fixed_widths=fixed_widths
         )

@@ -46,7 +46,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         nargs="?",
         help="SQL to run (omit with --shell). Tables: t (one file) or t1..tN.",
     )
-    parser.add_argument("files", nargs="*", type=Path, help="raw data files")
+    parser.add_argument("files", nargs="*", type=Path, help="raw data files (a quoted glob or a directory attaches a multi-file table)")
     parser.add_argument(
         "--policy",
         choices=POLICIES,
@@ -253,7 +253,7 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
         prog="repro serve",
         description="Serve the adaptive engine to many clients over HTTP/JSON.",
     )
-    parser.add_argument("files", nargs="*", type=Path, help="raw data files to attach")
+    parser.add_argument("files", nargs="*", type=Path, help="raw data files to attach (a quoted glob or a directory attaches a multi-file table)")
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument(
         "--port", type=int, default=8321, help="bind port (0 = ephemeral)"

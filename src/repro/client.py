@@ -19,7 +19,10 @@ the server's ``Retry-After`` hint in ``retry_after_s``.
 
 from __future__ import annotations
 
+import datetime
+import email.utils
 import json
+import math
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -118,6 +121,39 @@ class RemoteResult:
         )
 
 
+def _parse_retry_after(value: str | None) -> float | None:
+    """Seconds to wait, from a ``Retry-After`` header, or None.
+
+    RFC 7231 allows two forms — delta-seconds (``"120"``) and an
+    HTTP-date (``"Fri, 07 Aug 2026 12:00:00 GMT"``); our own server sends
+    the former, but this client may sit behind proxies that rewrite the
+    header to the latter.  A past date means "retry now" (0.0).  Anything
+    unparseable, negative or non-finite drops the hint rather than
+    feeding garbage into a caller's backoff arithmetic.
+    """
+    if value is None:
+        return None
+    text = value.strip()
+    try:
+        seconds = float(text)
+    except ValueError:
+        pass
+    else:
+        if math.isfinite(seconds) and seconds >= 0:
+            return seconds
+        return None
+    try:
+        when = email.utils.parsedate_to_datetime(text)
+    except (TypeError, ValueError):
+        return None
+    if when is None:
+        return None
+    if when.tzinfo is None:  # RFC 5322 "-0000": treat as UTC
+        when = when.replace(tzinfo=datetime.timezone.utc)
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return max(0.0, (when - now).total_seconds())
+
+
 class RemoteConnection:
     """The :class:`repro.api.Connection` surface, over HTTP."""
 
@@ -159,13 +195,10 @@ class RemoteConnection:
             payload = {"error": "internal", "message": f"HTTP {exc.code}"}
         error = error_from_payload(payload)
         if isinstance(error, OverloadedError):
-            retry_after = exc.headers.get("Retry-After")
+            retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
             if retry_after is not None:
-                try:
-                    error.retry_after_s = float(retry_after)
-                    error.details["retry_after_s"] = error.retry_after_s
-                except ValueError:
-                    pass
+                error.retry_after_s = retry_after
+                error.details["retry_after_s"] = retry_after
         return error
 
     # ------------------------------------------------------------ catalog

@@ -113,8 +113,19 @@ class EngineConfig:
         Where split (cracked) per-column files are written.  Defaults to a
         per-engine temporary directory.
     auto_invalidate:
-        Detect edits to attached flat files (mtime/size fingerprints) and
-        transparently drop derived data (section 5.4's "simple solution").
+        Detect edits to attached flat files (size/mtime/content-probe
+        fingerprints) and transparently drop derived data (section 5.4's
+        "simple solution").
+    append_extension:
+        When an edit is a *pure tail-append* (the file grew and the prior
+        region is byte-identical — the dominant change on growing logs),
+        extend the learned state over the appended region instead of
+        wiping it: the positional map absorbs offsets for the new tail
+        only, fully loaded columns parse and concatenate just the new
+        rows, zone maps gain zones, and the partition plan appends one
+        tail partition.  Crackers and cached results (whose answers
+        genuinely changed) still invalidate.  Off forces every edit down
+        the full-invalidation path.
     io_bandwidth_bytes_per_sec:
         Optional simulated I/O throttle.  When set, every read of ``n``
         bytes from a flat file additionally sleeps ``n / bandwidth``
@@ -184,6 +195,7 @@ class EngineConfig:
     crack_after: int = 3
     splitfile_dir: Path | None = None
     auto_invalidate: bool = True
+    append_extension: bool = True
     io_bandwidth_bytes_per_sec: float | None = None
     eviction_policy: str = "lru"
     persist_loads: bool = False

@@ -48,23 +48,27 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import nullcontext, suppress
 from pathlib import Path
 
+import numpy as np
+
 from repro.config import EngineConfig
+from repro.core.append import extend_entry_for_append
+from repro.core.loader import _widen_column
 from repro.core.monitor import RobustnessMonitor
 from repro.core.policies import LoadContext, LoadingPolicy, TableView, make_policy
 from repro.core.result_cache import FileSignature, QueryResultCache
 from repro.core.splitfile import SplitFileCatalog, cleanup_directory
 from repro.core.statistics import EngineStatistics, QueryStats, Stopwatch
-from repro.errors import CatalogError, StaleFileError
+from repro.errors import CatalogError, FlatFileError, StaleFileError
 from repro.locks import SingleFlight
 from repro.result import QueryResult
 from repro.sql.ast_nodes import SelectStmt
 from repro.sql.binder import BoundQuery, bind
 from repro.sql.parser import parse_sql
 from repro.execution.executor import execute_bound_query
-from repro.flatfile.files import FileFingerprint
-from repro.flatfile.schema import ColumnSchema, DataType, TableSchema
+from repro.flatfile.files import FileFingerprint, detect_tail_append
+from repro.flatfile.schema import ColumnSchema, DataType, TableSchema, merge_schemas, widest
 from repro.storage.binarystore import BinaryStore
-from repro.storage.catalog import Catalog, TableEntry
+from repro.storage.catalog import Catalog, MultiFileEntry, TableEntry
 from repro.storage.memory import MemoryManager
 from repro.storage.persistent import PersistedState, PersistentStore
 from repro.storage.table import Table
@@ -158,9 +162,17 @@ class NoDBEngine:
         # store/split state on the unlisted entry afterwards.
         with self._lock:
             entry = self.catalog.get(name)
-        with entry.rwlock.write_locked():
-            entry.detached = True
-            self._invalidate_entry(entry)
+        if isinstance(entry, MultiFileEntry):
+            with entry.rwlock.write_locked():
+                entry.detached = True
+            for part in entry.part_entries():
+                with part.rwlock.write_locked():
+                    part.detached = True
+                    self._invalidate_entry(part)
+        else:
+            with entry.rwlock.write_locked():
+                entry.detached = True
+                self._invalidate_entry(entry)
         with self._lock:
             self.catalog.detach(name)
 
@@ -182,8 +194,14 @@ class NoDBEngine:
                 else list(self.catalog.entries.values())
             )
         for entry in entries:
-            with entry.rwlock.write_locked():
-                self._invalidate_entry(entry)
+            parts = (
+                entry.part_entries()
+                if isinstance(entry, MultiFileEntry)
+                else [entry]
+            )
+            for part in parts:
+                with part.rwlock.write_locked():
+                    self._invalidate_entry(part)
 
     def set_policy(self, policy_name: str) -> None:
         """Switch loading policy in place (adaptation trigger, section 5.3).
@@ -284,6 +302,19 @@ class NoDBEngine:
             lines.append(f"table {table_name} (as {binding}):")
             lines.append(f"  needed columns: {', '.join(needed)}")
             lines.append(f"  range condition: {condition!r}")
+            if isinstance(entry, MultiFileEntry):
+                parts = entry.part_entries()
+                lines.append(
+                    f"  multi-file table ({entry.pattern!r}): "
+                    f"{len(parts)} part file(s) known"
+                )
+                for part in parts:
+                    state = "empty" if part.table is None else (
+                        f"{part.table.nrows} rows, "
+                        f"{len(part.table.fully_loaded_columns())} full columns"
+                    )
+                    lines.append(f"  part {part.file.path.name}: {state}")
+                continue
             table = entry.table
             if table is None:
                 lines.append("  store: empty (nothing loaded yet)")
@@ -324,12 +355,17 @@ class NoDBEngine:
         self, stmt: SelectStmt, entries: dict[str, TableEntry]
     ) -> tuple[str | None, dict[str, FileSignature] | None]:
         """Cache key + current file signatures (None when un-keyable)."""
+        if any(isinstance(e, MultiFileEntry) for e in entries.values()):
+            # One signature cannot vouch for a part set that is
+            # re-discovered on every query; multi-file tables always run
+            # the (per-part warm) serve path.
+            return None, None
         try:
             signatures = {
                 e.name.lower(): FileSignature.of(e.file.path)
                 for e in entries.values()
             }
-        except OSError:
+        except (OSError, FlatFileError):
             # File vanished mid-probe: let the load path raise properly.
             return None, None
         # The attachment uid in the key means a detach + re-attach of the
@@ -391,7 +427,7 @@ class NoDBEngine:
                 e.name.lower(): FileSignature.of(e.file.path)
                 for e in entries.values()
             }
-        except OSError:
+        except (OSError, FlatFileError):
             return
         if fresh == signatures:
             self.result_cache.store(cache_key, result, fresh)
@@ -412,9 +448,101 @@ class NoDBEngine:
         # deadlock against each other.
         for binding in sorted(entries, key=lambda b: entries[b].name.lower()):
             entry = entries[binding]
+            if isinstance(entry, MultiFileEntry):
+                views[binding] = self._provide_multi(binding, entry, bound, qstats)
+                continue
             known = (signatures or {}).get(entry.name.lower())
             views[binding] = self._provide_one(binding, entry, bound, qstats, known)
         return views
+
+    def _provide_multi(
+        self,
+        binding: str,
+        entry: MultiFileEntry,
+        bound: BoundQuery,
+        qstats: QueryStats,
+    ) -> TableView:
+        """Serve a multi-file table: per-part provision, late union.
+
+        The part set is re-discovered here, so a part file that appeared
+        since the last query is picked up (cold, learned incrementally)
+        while untouched siblings keep serving warm; a part that vanished
+        is invalidated and dropped.  Each part runs the ordinary
+        single-table serve path — staleness, append-extension,
+        persistence and shared scans all work per part — and the views
+        are concatenated in sorted part order.
+        """
+        if entry.detached:
+            raise CatalogError(
+                f"table {entry.name!r} was detached while the query ran"
+            )
+        parts, removed = entry.refresh()
+        for part in removed:
+            with part.rwlock.write_locked():
+                part.detached = True
+                self._invalidate_entry(part)
+        needed = bound.needed_columns[binding]
+        if not needed:
+            needed = [entry.ensure_schema().columns[0].name]
+        views = {
+            part.name: self._provide_one(binding, part, bound, qstats)
+            for part in parts
+        }
+        # Parts widen independently (their own raw bytes drive the
+        # ladder); a query spanning parts must see one dtype per column.
+        # Widen lagging parts to the widest observed and re-provide them
+        # — re-parsing raw text through the normal path, so e.g. "007"
+        # under a str-widened sibling stays "007", not str(int) — and
+        # iterate: a re-provide may itself widen further.
+        for _ in range(4):  # the ladder has three rungs; fixpoint is near
+            changed = False
+            for name in needed:
+                try:
+                    dtypes = {
+                        part.name: part.ensure_schema().dtype_of(name)
+                        for part in parts
+                    }
+                except KeyError:
+                    raise CatalogError(
+                        f"table {entry.name!r}: part files disagree on "
+                        f"column {name!r}"
+                    ) from None
+                target = widest(dtypes.values())
+                for part in parts:
+                    if dtypes[part.name] is target:
+                        continue
+                    with part.rwlock.write_locked():
+                        self._check_detached(part)
+                        _widen_column(
+                            part, part.schema.index_of(name), target
+                        )
+                    views[part.name] = self._provide_one(
+                        binding, part, bound, qstats
+                    )
+                    changed = True
+            if not changed:
+                break
+        with entry.parts_lock:
+            merged = parts[0].ensure_schema()
+            for part in parts[1:]:
+                merged = merge_schemas(merged, part.ensure_schema())
+            entry.schema = merged
+        part_views = [views[part.name] for part in parts]
+        keys = set(part_views[0].arrays)
+        for v in part_views[1:]:
+            keys &= set(v.arrays)
+        arrays = {
+            key: np.concatenate([v.arrays[key] for v in part_views])
+            if len(part_views) > 1
+            else part_views[0].arrays[key]
+            for key in keys
+        }
+        return TableView(
+            nrows=sum(v.nrows for v in part_views),
+            arrays=arrays,
+            served_from_store=all(v.served_from_store for v in part_views),
+            went_to_file=any(v.went_to_file for v in part_views),
+        )
 
     def _provide_one(
         self,
@@ -500,7 +628,16 @@ class NoDBEngine:
                             return view
                         generation = entry.generation
                         self._pin_resident(entry, needed, ctx)
-                        view = policy.provide(ctx)
+                        # Stage the pre-read identity for ensure_table:
+                        # should provide() fail *after* creating the
+                        # table, the entry must still be branded with the
+                        # fingerprint its bytes were read under, or an
+                        # append landing mid-read would go unnoticed.
+                        entry.pre_fingerprint = pre_fingerprint
+                        try:
+                            view = policy.provide(ctx)
+                        finally:
+                            entry.pre_fingerprint = None
                         if entry.table is not None:
                             entry.loaded_fingerprint = pre_fingerprint
                         if view.went_to_file:
@@ -614,7 +751,13 @@ class NoDBEngine:
         """
         total_bytes = 0
         total_reads = 0
+        flat = []
         for entry in entries:
+            if isinstance(entry, MultiFileEntry):
+                flat.extend(entry.part_entries())
+            else:
+                flat.append(entry)
+        for entry in flat:
             nbytes, calls = entry.file.thread_io_totals()
             total_bytes += nbytes
             total_reads += calls
@@ -634,7 +777,10 @@ class NoDBEngine:
         from the live file *before* this read, the same rule cold loads
         follow — so a file replaced mid-restore mismatches on the next
         query.  A fingerprint-stale persisted entry is deleted and
-        counted, and the scan proceeds cold.
+        counted, and the scan proceeds cold — *unless* the mismatch is a
+        pure tail-append, in which case the entry restores under its
+        stored (old) fingerprint and is extended over the appended
+        region in place, exactly like an in-memory warm table would be.
         """
         outcome = self.persistent_store.load(entry.file.path, fingerprint)
         if outcome.invalidated:
@@ -642,6 +788,7 @@ class NoDBEngine:
         state = outcome.state
         if state is None or state.nrows <= 0:
             return False
+        brand = state.fingerprint if outcome.appended else fingerprint
         # Adopt the persisted (possibly widened) schema wholesale: it was
         # inferred — and widened — from exactly the bytes the fingerprint
         # vouches for.
@@ -653,7 +800,7 @@ class NoDBEngine:
         entry.positional_map = state.positional_map
         entry.partitions = state.partitions
         entry.zone_maps = state.zone_maps
-        entry.loaded_fingerprint = fingerprint
+        entry.loaded_fingerprint = brand
         for name, values in state.columns.items():
             pc = entry.table.column(name)
             pc.restore_full(values)
@@ -668,8 +815,16 @@ class NoDBEngine:
         # What we just restored is exactly what a re-persist would write.
         with self._persist_lock:
             self._persisted_tokens[str(entry.file.path)] = self._persist_token(
-                entry, fingerprint
+                entry, brand
             )
+        if outcome.appended:
+            # The restored state covers only the old prefix of the live
+            # file; extend it over the appended tail now, while the write
+            # lock is held.  Failure means the restored state cannot be
+            # grown to match the live file — fall all the way to cold.
+            if not self._try_extend_append(entry, fingerprint):
+                self._invalidate_entry(entry)
+                return False
         self.stats.count("restart_warm_hits")
         return True
 
@@ -802,8 +957,52 @@ class NoDBEngine:
                 f"flat file for table {entry.name!r} changed after loading; "
                 "auto_invalidate is disabled"
             )
+        if self._try_extend_append(entry, fingerprint):
+            return fingerprint
         self._invalidate_entry(entry)
         return fingerprint
+
+    def _try_extend_append(
+        self, entry: TableEntry, fingerprint: FileFingerprint
+    ) -> bool:
+        """Extend learned state over a pure tail-append (write lock held).
+
+        Appends aren't rewrites: when the file grew and the prior region
+        is byte-identical, the positional map, fully loaded columns, zone
+        maps and partition plan are all extended in place instead of
+        wiped — only structures whose *answers* changed (crackers, cached
+        results, binary-store row images) are invalidated.  Returns False
+        when the change is not a tail-append or any extension
+        precondition fails; the caller falls back to full invalidation.
+        """
+        if not self.config.append_extension:
+            return False
+        old = entry.loaded_fingerprint
+        if old is None or entry.table is None:
+            return False
+        if not detect_tail_append(entry.file.path, old, fingerprint):
+            return False
+        try:
+            extended = extend_entry_for_append(
+                entry, old, fingerprint, self.config, self.memory
+            )
+        except FlatFileError:
+            extended = False
+        if not extended:
+            return False
+        for col in list(entry.crackers):
+            self.memory.forget(entry.cracker_key(col))
+        entry.crackers.clear()
+        self.monitor.cracking.forget_table(entry.name.lower())
+        if self.binary_store is not None:
+            self.binary_store.drop_table(entry.name)
+        if self.result_cache is not None:
+            self.result_cache.invalidate_table(entry.name.lower())
+        entry.loaded_fingerprint = fingerprint
+        entry.generation += 1
+        self.stats.count("append_extensions")
+        self._schedule_persist(entry, fingerprint)
+        return True
 
     def _invalidate_entry(self, entry: TableEntry) -> None:
         if entry.table is not None:
@@ -841,10 +1040,16 @@ class NoDBEngine:
         with self._lock:
             entries = list(self.catalog.entries.values())
         for entry in entries:
-            split = entry.split_catalog
-            entry.split_catalog = None
-            if split is not None:
-                split.destroy()
+            parts = (
+                entry.part_entries()
+                if isinstance(entry, MultiFileEntry)
+                else [entry]
+            )
+            for part in parts:
+                split = part.split_catalog
+                part.split_catalog = None
+                if split is not None:
+                    split.destroy()
         with self._lock:
             if self._owns_split_dir and self.config.splitfile_dir is not None:
                 cleanup_directory(self.config.splitfile_dir)

@@ -127,6 +127,9 @@ class ConcurrencyCounters:
     #: Persisted entries deleted because their fingerprint mismatched the
     #: live file (staleness) or the in-memory table was invalidated.
     store_invalidations: int = 0
+    #: Stale fingerprints recognized as pure tail-appends whose learned
+    #: state was extended in place instead of wiped.
+    append_extensions: int = 0
     #: Zones skipped by zone-map pruning across all queries.
     zone_map_skips: int = 0
     #: Crack operations performed by warm serves across all queries.

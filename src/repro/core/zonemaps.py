@@ -118,6 +118,64 @@ class ZoneMapIndex:
     def drop_column(self, col: int) -> None:
         self.columns.pop(col, None)
 
+    def extended(
+        self, new_nrows: int, appended: dict[int, np.ndarray]
+    ) -> "ZoneMapIndex":
+        """A new index covering ``new_nrows`` rows after a tail-append.
+
+        ``appended[col]`` holds the parsed values of the appended rows
+        (length ``new_nrows - self.nrows``).  Zone statistics are
+        associative, so the old zones survive untouched, the boundary
+        zone (when the old row count did not land on a zone edge) merges
+        its old bounds with the appended portion, and whole new zones are
+        reduced from the appended values alone.  Columns without usable
+        appended values (missing, wrong length, dtype changed) are
+        dropped — they can be relearned by a later full-column parse.
+        """
+        added = new_nrows - self.nrows
+        if added <= 0:
+            raise ValueError("extended() requires a grown row count")
+        out = ZoneMapIndex(nrows=new_nrows, zone_rows=self.zone_rows)
+        first = self.nrows // self.zone_rows  # first zone touching new rows
+        remainder = self.nrows % self.zone_rows
+        starts = (
+            np.arange(first, -(-new_nrows // self.zone_rows), dtype=np.int64)
+            * self.zone_rows
+        )
+        local = np.maximum(starts - self.nrows, 0)
+        for col, zones in self.columns.items():
+            values = appended.get(col)
+            if (
+                values is None
+                or len(values) != added
+                or values.dtype != zones.mins.dtype
+            ):
+                continue
+            if values.dtype.kind == "f":
+                mins = np.fmin.reduceat(values, local)
+                maxs = np.fmax.reduceat(values, local)
+                nulls = np.add.reduceat(np.isnan(values).astype(np.int64), local)
+            else:
+                mins = np.minimum.reduceat(values, local)
+                maxs = np.maximum.reduceat(values, local)
+                nulls = np.zeros(len(local), dtype=np.int64)
+            if remainder:
+                # The old last zone was partial: fold its bounds into the
+                # first reduced zone (fmin/fmax keep NaN-ignoring merge).
+                if values.dtype.kind == "f":
+                    mins[0] = np.fmin(mins[0], zones.mins[first])
+                    maxs[0] = np.fmax(maxs[0], zones.maxs[first])
+                else:
+                    mins[0] = min(mins[0], zones.mins[first])
+                    maxs[0] = max(maxs[0], zones.maxs[first])
+                nulls[0] += zones.nulls[first]
+            out.columns[col] = ColumnZones(
+                mins=np.concatenate([zones.mins[:first], mins]),
+                maxs=np.concatenate([zones.maxs[:first], maxs]),
+                nulls=np.concatenate([zones.nulls[:first], nulls]),
+            )
+        return out
+
     # ------------------------------------------------------------ skipping
 
     def zone_keep_mask(self, col: int, interval: ValueInterval) -> np.ndarray | None:

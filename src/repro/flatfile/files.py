@@ -99,15 +99,26 @@ class FileWindows:
 PROBE_BYTES = 4096
 
 
-def content_probe(path: Path | str, size: int) -> bytes:
-    """Digest of the head and tail of the file (bounded, unaccounted I/O)."""
-    digest = hashlib.blake2b(digest_size=16)
+def _digest(data: bytes) -> bytes:
+    return hashlib.blake2b(data, digest_size=16).digest()
+
+
+def content_probe(path: Path | str, size: int) -> tuple[bytes, bytes]:
+    """Separate digests of the file's head and tail regions.
+
+    The head digest covers bytes ``[0, min(PROBE_BYTES, size))`` and the
+    tail digest bytes ``[max(0, size - PROBE_BYTES), size)``.  Keeping
+    them separate (rather than one combined digest) is what makes pure
+    tail-appends recognizable: after an append the old fingerprint's
+    regions are still present in the grown file and can be re-probed and
+    compared, region by region.  Bounded, unaccounted I/O.
+    """
     with open(path, "rb") as f:  # seek+read, not os.pread: portable
-        digest.update(f.read(PROBE_BYTES))
-        if size > PROBE_BYTES:
-            f.seek(max(0, size - PROBE_BYTES))
-            digest.update(f.read(PROBE_BYTES))
-    return digest.digest()
+        head = _digest(f.read(min(PROBE_BYTES, max(size, 0))))
+        tail_start = max(0, size - PROBE_BYTES)
+        f.seek(tail_start)
+        tail = _digest(f.read(size - tail_start))
+    return head, tail
 
 
 @dataclass(frozen=True)
@@ -118,27 +129,39 @@ class FileFingerprint:
     fingerprint layers cheap evidence: size + mtime_ns (the classic
     build-system compromise), the inode (free from the same ``stat``;
     catches atomic replacement via ``os.replace`` even when size and
-    mtime collide), and a bounded head/tail content probe (catches the
-    pathological in-place same-size rewrite whose mtime was forced
-    back).  One mechanism, one strength: the adaptive store's
-    auto-invalidation and the query-result cache both key on this, so
-    the cache can never outlive data the store would consider fresh or
-    vice versa.
+    mtime collide), and a bounded content probe — separate head and tail
+    digests (catches the pathological in-place same-size rewrite whose
+    mtime was forced back, and lets :func:`detect_tail_append` recognize
+    pure appends by re-probing the old regions of the grown file).  One
+    mechanism, one strength: the adaptive store's auto-invalidation and
+    the query-result cache both key on this, so the cache can never
+    outlive data the store would consider fresh or vice versa.
     """
 
     size: int
     mtime_ns: int
     ino: int = 0
-    probe: bytes = b""
+    head: bytes = b""
+    tail: bytes = b""
 
     @classmethod
     def of(cls, path: Path) -> "FileFingerprint":
-        st = os.stat(path)
+        # The file can be deleted, truncated or replaced between the
+        # stat and the probe reads; fold that race into the library's
+        # error taxonomy instead of leaking a raw OSError mid-check.
+        try:
+            st = os.stat(path)
+            head, tail = content_probe(path, st.st_size)
+        except OSError as exc:
+            raise FlatFileError(
+                f"cannot fingerprint flat file {path}: {exc}"
+            ) from exc
         return cls(
             size=st.st_size,
             mtime_ns=st.st_mtime_ns,
             ino=st.st_ino,
-            probe=content_probe(path, st.st_size),
+            head=head,
+            tail=tail,
         )
 
     def as_manifest(self) -> dict:
@@ -147,7 +170,8 @@ class FileFingerprint:
             "size": self.size,
             "mtime_ns": self.mtime_ns,
             "ino": self.ino,
-            "probe": self.probe.hex(),
+            "head": self.head.hex(),
+            "tail": self.tail.hex(),
         }
 
     @classmethod
@@ -157,8 +181,46 @@ class FileFingerprint:
             size=int(data["size"]),
             mtime_ns=int(data["mtime_ns"]),
             ino=int(data["ino"]),
-            probe=bytes.fromhex(data["probe"]),
+            head=bytes.fromhex(data["head"]),
+            tail=bytes.fromhex(data["tail"]),
         )
+
+
+def detect_tail_append(
+    path: Path | str, old: FileFingerprint, new: FileFingerprint
+) -> bool:
+    """Is the file at ``path`` the old contents plus appended bytes?
+
+    True only when the file grew and the region the old fingerprint
+    covered is still byte-identical: the old head region ``[0,
+    min(PROBE_BYTES, old.size))`` and the old tail region ``[max(0,
+    old.size - PROBE_BYTES), old.size)`` of the *current* file must
+    re-digest to the old fingerprint's head/tail values.  Any head edit,
+    truncation, same-size rewrite or inode swap fails the check; any
+    I/O error (the file may be changing under us) conservatively reports
+    ``False`` so callers fall back to full invalidation.
+    """
+    if old is None or new is None:
+        return False
+    if new.size <= old.size or old.size <= 0:
+        return False
+    if old.ino and new.ino and old.ino != new.ino:
+        return False
+    if not old.head or not old.tail:
+        return False
+    try:
+        with open(path, "rb") as f:
+            head = f.read(min(PROBE_BYTES, old.size))
+            if _digest(head) != old.head:
+                return False
+            tail_start = max(0, old.size - PROBE_BYTES)
+            f.seek(tail_start)
+            tail = f.read(old.size - tail_start)
+            if _digest(tail) != old.tail:
+                return False
+    except OSError:
+        return False
+    return True
 
 
 @dataclass
@@ -341,13 +403,27 @@ class FlatFile:
 
     def read_range(self, start: int, end: int) -> str:
         """Read bytes ``[start, end)`` — used for positional-map jumps."""
+        return self.read_range_bytes(start, end).decode("utf-8")
+
+    def read_range_bytes(self, start: int, end: int) -> bytes:
+        """Read raw bytes ``[start, end)`` (accounted, not a full scan).
+
+        The append-extension path reads exactly the appended tail region
+        through this, so per-query byte accounting reflects that an
+        extended table re-read only the new bytes.
+        """
         if start < 0 or end < start:
             raise FlatFileError(f"bad byte range [{start}, {end})")
-        with open(self.path, "rb") as f:
-            f.seek(start)
-            data = f.read(end - start)
+        try:
+            with open(self.path, "rb") as f:
+                f.seek(start)
+                data = f.read(end - start)
+        except OSError as exc:
+            raise FlatFileError(
+                f"cannot read {self.path} range [{start}, {end}): {exc}"
+            ) from exc
         self._account(len(data), full_scan=False)
-        return data.decode("utf-8")
+        return data
 
     def read_windows(
         self,

@@ -234,6 +234,62 @@ class PositionalMap:
                 nchars=sum(g[1] for g in geometries),
             )
 
+    def extend_tail(self, tail: "PositionalMap", added_rows: int) -> None:
+        """Absorb a map learned over an appended tail region of the file.
+
+        ``tail`` was learned by tokenizing only the appended bytes as a
+        standalone document, so its offsets are relative to the start of
+        the appended region; they are shifted by the old text's character
+        size and concatenated.  Knowledge the tail pass did not relearn
+        (a column's spans, row offsets) is dropped for safety rather than
+        kept half-length — the same opportunistic semantics as partition
+        merging.  A map with no recorded geometry cannot shift offsets
+        and is cleared instead (callers treat that as "relearn later").
+        """
+        knows_nothing = (
+            self.nrows is None
+            and self.row_offsets is None
+            and not self.field_offsets
+            and self.text_geometry is None
+        )
+        if knows_nothing:
+            return
+        if self.text_geometry is None or tail.text_geometry is None:
+            self.clear()
+            return
+        char_base = self.text_geometry[1]
+        new_geometry = (
+            self.text_geometry[0] + tail.text_geometry[0],
+            self.text_geometry[1] + tail.text_geometry[1],
+        )
+        if (
+            self.row_offsets is not None
+            and tail.row_offsets is not None
+            and len(tail.row_offsets) == added_rows
+        ):
+            self.row_offsets = np.concatenate(
+                [self.row_offsets, tail.row_offsets + char_base]
+            )
+        else:
+            self.row_offsets = None
+        for col in list(self.field_offsets):
+            if (
+                self.can_slice(col)
+                and tail.can_slice(col)
+                and len(tail.field_offsets[col]) == added_rows
+            ):
+                self.field_offsets[col] = np.concatenate(
+                    [self.field_offsets[col], tail.field_offsets[col] + char_base]
+                )
+                self.field_ends[col] = np.concatenate(
+                    [self.field_ends[col], tail.field_ends[col] + char_base]
+                )
+            else:
+                self.field_offsets.pop(col, None)
+                self.field_ends.pop(col, None)
+        self.nrows = (self.nrows or 0) + added_rows
+        self.text_geometry = new_geometry
+
     def memory_bytes(self) -> int:
         """Approximate resident size of the map, for budget accounting."""
         total = 0

@@ -216,6 +216,29 @@ def infer_schema(
     return TableSchema([ColumnSchema(n, t) for n, t in zip(names, types)])
 
 
+def merge_schemas(base: TableSchema, other: TableSchema) -> TableSchema:
+    """Unify two part-file schemas of one multi-file table.
+
+    Part files must agree on shape — same column count, same names
+    (case-insensitive; headerless parts all get ``a1..aN`` so they agree
+    by construction) — while per-column types unify to the widest of the
+    two under the shared widening ladder, exactly as independently
+    widened partition schemas merge.  The base's casing wins.
+    """
+    if len(base) != len(other):
+        raise SchemaInferenceError(
+            f"part files disagree on column count: {len(base)} vs {len(other)}"
+        )
+    columns = []
+    for b, o in zip(base.columns, other.columns):
+        if b.name.lower() != o.name.lower():
+            raise SchemaInferenceError(
+                f"part files disagree on column names: {b.name!r} vs {o.name!r}"
+            )
+        columns.append(ColumnSchema(b.name, widest([b.dtype, o.dtype])))
+    return TableSchema(columns)
+
+
 def looks_like_header(first_row: list[str], second_row: list[str] | None) -> bool:
     """Heuristic header detection.
 

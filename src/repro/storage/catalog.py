@@ -9,13 +9,15 @@ lazily, as side effects of queries.
 
 from __future__ import annotations
 
+import glob as _glob
+import hashlib
 import itertools
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.errors import CatalogError
+from repro.errors import CatalogError, SchemaInferenceError
 
 if TYPE_CHECKING:  # import would be circular at runtime (core -> storage)
     from repro.core.partitions import PartitionIndex
@@ -24,7 +26,13 @@ if TYPE_CHECKING:  # import would be circular at runtime (core -> storage)
     from repro.cracking.cracker import CrackerColumn
 from repro.flatfile.files import FileFingerprint, FlatFile
 from repro.flatfile.positions import PositionalMap
-from repro.flatfile.schema import TableSchema, infer_schema, looks_like_header
+from repro.flatfile.schema import (
+    ColumnSchema,
+    TableSchema,
+    infer_schema,
+    looks_like_header,
+    merge_schemas,
+)
 from repro.locks import RWLock
 from repro.storage.table import Table
 
@@ -69,6 +77,14 @@ class TableEntry:
     #: Only ever created/used under the table's write lock.
     split_catalog: "SplitFileCatalog | None" = None
     loaded_fingerprint: FileFingerprint | None = None
+    #: The fingerprint the engine captured *before* any raw read of the
+    #: current load (set around ``policy.provide`` under the write lock).
+    #: :meth:`ensure_table` brands the freshly created table with it, so
+    #: a tail-append landing mid-load is observed by the next staleness
+    #: check instead of being masked by a post-read fingerprint.
+    pre_fingerprint: FileFingerprint | None = field(
+        default=None, repr=False, compare=False
+    )
     #: Reader–writer lock serializing store mutation per table: queries
     #: answered from resident fragments share the read side; loads (and
     #: invalidation) take the write side.  Distinct tables never contend.
@@ -127,10 +143,22 @@ class TableEntry:
             self.schema = infer_schema(rows)
 
     def ensure_table(self, nrows: int) -> Table:
-        """Create the adaptive-store table once the row count is known."""
+        """Create the adaptive-store table once the row count is known.
+
+        The table is branded with the *pre-read* fingerprint when the
+        engine staged one (:attr:`pre_fingerprint`): bytes were read and
+        counted under that identity, so an append landing mid-load makes
+        the next staleness check mismatch and observe the new rows.
+        Fingerprinting here (the non-engine fallback) would brand old
+        bytes with the post-read file identity.
+        """
         if self.table is None:
             self.table = Table(self.name, self.ensure_schema(), nrows)
-            self.loaded_fingerprint = self.file.fingerprint()
+            self.loaded_fingerprint = (
+                self.pre_fingerprint
+                if self.pre_fingerprint is not None
+                else self.file.fingerprint()
+            )
         elif self.table.nrows != nrows:
             raise CatalogError(
                 f"table {self.name!r}: row count changed from {self.table.nrows} to {nrows}"
@@ -171,11 +199,143 @@ class TableEntry:
         self.file.reset_format_state()
 
 
+def has_glob_magic(text: str) -> bool:
+    """Does ``text`` contain glob wildcards (``*``, ``?``, ``[``)?"""
+    return any(ch in text for ch in "*?[")
+
+
+@dataclass
+class MultiFileEntry:
+    """Catalog record of one table backed by many part files.
+
+    Attaching a glob pattern or a directory creates one of these instead
+    of a :class:`TableEntry`.  Each matching part file gets its own full
+    ``TableEntry`` — per-file fingerprint, positional map, partitions,
+    zone maps, persistence, append-extension — and queries serve every
+    part independently before concatenating the views (a late union).
+    The part set is re-discovered on every query, so "new data arrived"
+    is just "a new part file appeared": no re-attach, no invalidation of
+    the parts already learned.
+    """
+
+    name: str
+    pattern: str
+    delimiter: str = ","
+    bandwidth_bytes_per_sec: float | None = None
+    format: str | None = None
+    fixed_widths: tuple[int, ...] | None = None
+    #: Resolved part-path string -> that part's own TableEntry.
+    parts: dict[str, TableEntry] = field(default_factory=dict)
+    #: The merged (widest-per-column) schema across all parts seen.
+    schema: TableSchema | None = None
+    #: Serializes part discovery and schema reconciliation.
+    parts_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    #: Parent-level lock for detach tombstoning (parts have their own).
+    rwlock: RWLock = field(default_factory=RWLock, repr=False, compare=False)
+    detached: bool = False
+    uid: int = field(default_factory=lambda: next(_ENTRY_UIDS))
+
+    def discover(self) -> list[Path]:
+        """Current part files, sorted by path (empty files are skipped:
+        a zero-byte part is data that has not arrived yet)."""
+        base = Path(self.pattern)
+        if base.is_dir():
+            candidates = sorted(base.iterdir())
+        else:
+            candidates = sorted(Path(p) for p in _glob.glob(self.pattern))
+        out = []
+        for p in candidates:
+            try:
+                if p.is_file() and p.stat().st_size > 0:
+                    out.append(p)
+            except OSError:
+                continue  # vanished mid-listing: as if it never matched
+        return out
+
+    def _part_name(self, path: Path) -> str:
+        # Unique and stable per resolved path: basenames may collide
+        # across directories matched by one pattern, and store/memory
+        # keys are derived from part names.
+        digest = hashlib.blake2b(
+            str(path.resolve()).encode(), digest_size=3
+        ).hexdigest()
+        return f"{self.name}::{path.name}~{digest}"
+
+    def refresh(self) -> tuple[list[TableEntry], list[TableEntry]]:
+        """Re-glob the pattern; returns ``(current parts, removed parts)``.
+
+        New part files get entries (with schemas reconciled against the
+        merged parent schema — raising on shape disagreement); entries
+        whose file disappeared are returned for the engine to invalidate.
+        """
+        with self.parts_lock:
+            found = {str(p): p for p in self.discover()}
+            removed = [e for key, e in self.parts.items() if key not in found]
+            for key in list(self.parts):
+                if key not in found:
+                    del self.parts[key]
+            for key, path in sorted(found.items()):
+                if key in self.parts:
+                    continue
+                entry = TableEntry(
+                    name=self._part_name(path),
+                    file=FlatFile(
+                        path,
+                        delimiter=self.delimiter,
+                        bandwidth_bytes_per_sec=self.bandwidth_bytes_per_sec,
+                        format=self.format,
+                        fixed_widths=self.fixed_widths,
+                    ),
+                )
+                self._reconcile_schema(entry)
+                self.parts[key] = entry
+            if not self.parts:
+                raise CatalogError(
+                    f"table {self.name!r}: no data files match {self.pattern!r}"
+                )
+            current = [self.parts[key] for key in sorted(self.parts)]
+            return current, removed
+
+    def _reconcile_schema(self, entry: TableEntry) -> None:
+        """Fold one new part's inferred schema into the merged schema."""
+        part_schema = entry.ensure_schema()
+        if self.schema is None:
+            merged = part_schema
+        else:
+            try:
+                merged = merge_schemas(self.schema, part_schema)
+            except SchemaInferenceError as exc:
+                raise CatalogError(
+                    f"table {self.name!r}: part file {entry.file.path} "
+                    f"does not fit the table: {exc}"
+                ) from exc
+        self.schema = merged
+        # Each part gets its own *copy* of the merged schema: per-part
+        # widening mutates schemas in place and must stay per-part (the
+        # union path re-widens lagging parts when views are combined).
+        entry.schema = TableSchema(
+            [ColumnSchema(c.name, c.dtype) for c in merged.columns]
+        )
+
+    def ensure_schema(self) -> TableSchema:
+        """The merged schema, discovering parts on first use."""
+        if self.schema is None:
+            self.refresh()
+        return self.schema
+
+    def part_entries(self) -> list[TableEntry]:
+        """Snapshot of the currently known parts (no re-discovery)."""
+        with self.parts_lock:
+            return [self.parts[key] for key in sorted(self.parts)]
+
+
 @dataclass
 class Catalog:
     """All attached tables, by lower-cased name."""
 
-    entries: dict[str, TableEntry] = field(default_factory=dict)
+    entries: "dict[str, TableEntry | MultiFileEntry]" = field(default_factory=dict)
 
     def attach(
         self,
@@ -185,17 +345,36 @@ class Catalog:
         bandwidth_bytes_per_sec: float | None = None,
         format: str | None = None,
         fixed_widths: tuple[int, ...] | None = None,
-    ) -> TableEntry:
+    ) -> "TableEntry | MultiFileEntry":
         """Attach one flat file (still no I/O beyond an existence check).
 
         ``format`` selects the file's dialect (see
         :data:`repro.flatfile.dialects.FORMATS`); ``None`` keeps the
         plain delimited substrate, ``"auto"`` defers to the dialect
         sniffer on first real use of the file.
+
+        A ``path`` containing glob wildcards (``*``, ``?``, ``[``) or
+        naming a directory attaches a *multi-file* table: every matching
+        part file is served with its own fingerprint and learned state,
+        and the part set is re-discovered on each query.  The pattern
+        may match nothing yet — the first query then fails cleanly, and
+        succeeds as soon as a part file appears.
         """
         key = name.lower()
         if key in self.entries:
             raise CatalogError(f"table {name!r} is already attached")
+        text = str(path)
+        if has_glob_magic(text) or Path(path).is_dir():
+            multi = MultiFileEntry(
+                name=name,
+                pattern=text,
+                delimiter=delimiter,
+                bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+                format=format,
+                fixed_widths=fixed_widths,
+            )
+            self.entries[key] = multi
+            return multi
         entry = TableEntry(
             name=name,
             file=FlatFile(
@@ -215,7 +394,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} is not attached")
         del self.entries[key]
 
-    def get(self, name: str) -> TableEntry:
+    def get(self, name: str) -> "TableEntry | MultiFileEntry":
         key = name.lower()
         if key not in self.entries:
             raise CatalogError(

@@ -147,6 +147,44 @@ class PartialColumn:
                 self.drop()
         self.dtype = dtype
 
+    def grow(self, new_nrows: int, appended: np.ndarray | None = None) -> bool:
+        """Grow row capacity to ``new_nrows`` after a pure tail-append.
+
+        A fully loaded column handed the appended rows' parsed values
+        stays fully loaded: the values are concatenated (off any memmap
+        backing, onto the heap) and the full-coverage certificate is
+        refreshed.  Returns True in that case.  Every other state drops
+        its fragments instead — a partial certificate's "rows satisfying
+        Q are materialized" no longer holds over the grown row space —
+        which is always legal under the store's lifetime principle.
+        """
+        added = new_nrows - self.nrows
+        if added < 0:
+            raise ExecutionError(
+                f"column {self.name!r}: cannot shrink from {self.nrows} to {new_nrows} rows"
+            )
+        if added == 0:
+            return self.is_fully_loaded and self.values is not None
+        if (
+            self.is_fully_loaded
+            and self.values is not None
+            and appended is not None
+            and len(appended) == added
+        ):
+            tail = np.asarray(
+                appended,
+                dtype=self.dtype.numpy_dtype if self.dtype.is_numeric else object,
+            )
+            self.values = np.concatenate([np.asarray(self.values), tail])
+            self.nrows = new_nrows
+            self.loaded_mask = np.ones(new_nrows, dtype=bool)
+            self.loaded = IntervalSet.from_range(0, new_nrows)
+            self.add_certificate(CoverageCertificate(Condition()))
+            return True
+        self.drop()
+        self.nrows = new_nrows
+        return False
+
     def add_certificate(self, cert: CoverageCertificate) -> None:
         """Record coverage, dropping certificates the new one subsumes."""
         if cert.is_full:

@@ -58,7 +58,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.flatfile.files import FileFingerprint
+from repro.flatfile.files import FileFingerprint, detect_tail_append
 from repro.flatfile.positions import PositionalMap
 from repro.flatfile.schema import DataType
 from repro.storage.binarystore import atomic_write_bytes
@@ -136,6 +136,12 @@ class LoadOutcome:
     #: True when an entry existed but its fingerprint mismatched the
     #: current file (the entry has been deleted).
     invalidated: bool = False
+    #: True when the fingerprint mismatch was a pure tail-append: the
+    #: state is valid for a byte-identical *prefix* of the live file and
+    #: carries the stored (old) fingerprint; the engine must extend it
+    #: over the appended region before serving new rows.  The on-disk
+    #: entry is kept (re-branded by the next persist), not deleted.
+    appended: bool = False
 
 
 @dataclass
@@ -353,6 +359,23 @@ class PersistentStore:
         if not manifest or manifest.get("version") != _VERSION:
             return LoadOutcome(None)
         if manifest.get("fingerprint") != fingerprint.as_manifest():
+            stored = self._stored_fingerprint(manifest)
+            if stored is not None and detect_tail_append(
+                source, stored, fingerprint
+            ):
+                # Appends aren't rewrites: the stored state describes a
+                # byte-identical prefix of the live file.  Re-brand the
+                # entry instead of deleting it — materialize under the
+                # *stored* fingerprint and let the engine extend the
+                # state over the appended region (the next persist then
+                # rewrites the manifest under the new fingerprint).
+                try:
+                    state = self._materialize(edir, manifest, source, stored)
+                except (OSError, ValueError, KeyError, TypeError):
+                    self._wipe(edir)
+                    return LoadOutcome(None, invalidated=True)
+                self.stats.entries_restored += 1
+                return LoadOutcome(state, appended=True)
             self._wipe(edir)
             return LoadOutcome(None, invalidated=True)
         try:
@@ -450,6 +473,14 @@ class PersistentStore:
         if path.stat().st_size != int(expected_bytes):
             raise ValueError(f"{name}: size mismatch (truncated or corrupt)")
         return path
+
+    @staticmethod
+    def _stored_fingerprint(manifest: dict) -> FileFingerprint | None:
+        """The manifest's recorded fingerprint, or None if malformed."""
+        try:
+            return FileFingerprint.from_manifest(manifest["fingerprint"])
+        except (KeyError, TypeError, ValueError):
+            return None
 
     def _read_manifest(self, edir: Path) -> dict:
         try:

@@ -55,6 +55,21 @@ class Table:
         """Forget all loaded data (file-edit invalidation, section 5.4)."""
         self.columns.clear()
 
+    def grow(self, new_nrows: int, appended: dict[str, "object"]) -> dict[str, bool]:
+        """Grow every column after a pure tail-append to the source file.
+
+        ``appended`` maps lower-cased column names to the parsed values
+        of the appended rows.  Returns, per column key, whether the
+        column kept its loaded data (fully loaded and extended) or was
+        dropped back to cold (see :meth:`PartialColumn.grow`).
+        """
+        kept = {
+            key: pc.grow(new_nrows, appended.get(key))
+            for key, pc in self.columns.items()
+        }
+        self.nrows = new_nrows
+        return kept
+
     def ensure_known(self, names: list[str]) -> None:
         for n in names:
             if not self.has_column(n):

@@ -115,6 +115,7 @@ def test_committed_baseline_is_valid():
         "server",
         "tokenize",
         "skipping",
+        "append",
     }
     for entry in payload["benches"].values():
         assert entry["metrics"], "every baselined bench gates >= 1 metric"

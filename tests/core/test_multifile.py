@@ -1,0 +1,220 @@
+"""Multi-file tables: a glob or directory attach backed by part files.
+
+"New data arrived" should be just "a new part file appeared": each part
+carries its own fingerprint, positional map, partitions and zone maps,
+parts are served independently (partition-parallel per part) and merged
+by a late union, and the part set is re-discovered on every query.
+"""
+
+import time
+
+import pytest
+
+from repro import EngineConfig, NoDBEngine
+from repro.errors import CatalogError
+from repro.storage.catalog import Catalog, MultiFileEntry, has_glob_magic
+
+
+def write_part(path, rng, mult=2):
+    path.write_text("".join(f"{i},{i * mult}\n" for i in rng))
+
+
+@pytest.fixture
+def parts_dir(tmp_path):
+    d = tmp_path / "parts"
+    d.mkdir()
+    write_part(d / "part-000.csv", range(100))
+    write_part(d / "part-001.csv", range(100, 250))
+    return d
+
+
+class TestAttachDetection:
+    def test_glob_magic(self):
+        assert has_glob_magic("logs/part-*.csv")
+        assert has_glob_magic("logs/part-?.csv")
+        assert has_glob_magic("logs/part-[01].csv")
+        assert not has_glob_magic("logs/part-000.csv")
+
+    def test_glob_attach_creates_multi_entry(self, parts_dir):
+        catalog = Catalog()
+        entry = catalog.attach("t", str(parts_dir / "part-*.csv"))
+        assert isinstance(entry, MultiFileEntry)
+
+    def test_directory_attach_creates_multi_entry(self, parts_dir):
+        catalog = Catalog()
+        entry = catalog.attach("t", parts_dir)
+        assert isinstance(entry, MultiFileEntry)
+
+    def test_plain_file_attach_unchanged(self, parts_dir):
+        catalog = Catalog()
+        entry = catalog.attach("t", parts_dir / "part-000.csv")
+        assert not isinstance(entry, MultiFileEntry)
+
+    def test_empty_parts_skipped(self, parts_dir):
+        (parts_dir / "part-002.csv").write_text("")
+        catalog = Catalog()
+        entry = catalog.attach("t", str(parts_dir / "part-*.csv"))
+        assert len(entry.refresh()[0]) == 2
+
+    def test_no_match_is_clean_error_on_first_use(self, tmp_path):
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("t", str(tmp_path / "nothing-*.csv"))
+        with pytest.raises(CatalogError, match="no data files match"):
+            engine.query("select count(*) from t")
+        engine.close()
+
+
+class TestServing:
+    def test_union_answers(self, parts_dir):
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("t", str(parts_dir / "part-*.csv"))
+        result = engine.query("select count(*), sum(a1), sum(a2) from t")
+        assert result.rows()[0] == (
+            250,
+            sum(range(250)),
+            sum(i * 2 for i in range(250)),
+        )
+        engine.close()
+
+    def test_filters_and_projection_span_parts(self, parts_dir):
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("t", str(parts_dir / "part-*.csv"))
+        got = engine.query("select sum(a2) from t where a1 >= 95 and a1 < 105")
+        assert got.scalar() == sum(i * 2 for i in range(95, 105))
+        engine.close()
+
+    def test_second_query_serves_warm(self, parts_dir):
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("t", str(parts_dir / "part-*.csv"))
+        engine.query("select sum(a1) from t")
+        result = engine.query("select sum(a1) from t")
+        assert result.stats["file_bytes_read"] == 0
+        engine.close()
+
+    def test_new_part_picked_up_without_reattach(self, parts_dir):
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("t", str(parts_dir / "part-*.csv"))
+        assert engine.query("select count(*) from t").scalar() == 250
+        write_part(parts_dir / "part-002.csv", range(250, 300))
+        assert engine.query("select count(*) from t").scalar() == 300
+        engine.close()
+
+    def test_new_part_does_not_rescan_old_parts(self, parts_dir):
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("t", str(parts_dir / "part-*.csv"))
+        engine.query("select sum(a1) from t")
+        write_part(parts_dir / "part-002.csv", range(250, 260))
+        new_bytes = (parts_dir / "part-002.csv").stat().st_size
+        result = engine.query("select sum(a1) from t")
+        assert result.scalar() == sum(range(260))
+        # only the new part was read (schema sample + scan), never the
+        # old parts — which dwarf it
+        assert result.stats["file_bytes_read"] <= 3 * new_bytes
+        engine.close()
+
+    def test_append_to_one_part_extends_it(self, parts_dir):
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("t", str(parts_dir / "part-*.csv"))
+        engine.query("select sum(a1) from t")
+        time.sleep(0.002)
+        with open(parts_dir / "part-001.csv", "a") as fh:
+            fh.write("900,1800\n")
+        assert engine.query("select sum(a1) from t").scalar() == (
+            sum(range(250)) + 900
+        )
+        assert engine.stats.counters.append_extensions == 1
+        engine.close()
+
+    def test_removed_part_dropped(self, parts_dir):
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("t", str(parts_dir / "part-*.csv"))
+        assert engine.query("select count(*) from t").scalar() == 250
+        (parts_dir / "part-001.csv").unlink()
+        assert engine.query("select count(*) from t").scalar() == 100
+        engine.close()
+
+    def test_count_star_only(self, parts_dir):
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("t", str(parts_dir / "part-*.csv"))
+        assert engine.query("select count(*) from t").scalar() == 250
+        engine.close()
+
+    def test_directory_attach_serves(self, parts_dir):
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("t", parts_dir)
+        assert engine.query("select count(*) from t").scalar() == 250
+        engine.close()
+
+    def test_schema_of(self, parts_dir):
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("t", str(parts_dir / "part-*.csv"))
+        assert engine.schema_of("t") == [("a1", "int64"), ("a2", "int64")]
+        engine.close()
+
+    def test_explain_lists_parts(self, parts_dir):
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("t", str(parts_dir / "part-*.csv"))
+        engine.query("select sum(a1) from t")
+        text = engine.explain("select a1 from t where a1 > 5")
+        assert "multi-file table" in text
+        assert "part-000.csv" in text
+        engine.close()
+
+    def test_detach_multi(self, parts_dir):
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("t", str(parts_dir / "part-*.csv"))
+        engine.query("select sum(a1) from t")
+        engine.detach("t")
+        assert "t" not in engine.tables()
+        with pytest.raises(CatalogError):
+            engine.query("select sum(a1) from t")
+        engine.close()
+
+
+class TestSchemaReconciliation:
+    def test_widest_dtype_wins_across_parts(self, tmp_path):
+        (tmp_path / "a.csv").write_text("1,2\n3,4\n")
+        (tmp_path / "b.csv").write_text("5.5,6\n7.25,8\n")
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("m", str(tmp_path / "*.csv"))
+        assert engine.schema_of("m") == [("a1", "float64"), ("a2", "int64")]
+        got = engine.query("select sum(a1) from m").scalar()
+        assert abs(got - 16.75) < 1e-9
+        engine.close()
+
+    def test_string_widening_preserves_raw_text(self, tmp_path):
+        # "007" parsed under an int sibling would come back "7"; the
+        # union path must re-parse the raw text, not stringify numbers.
+        (tmp_path / "a.csv").write_text("007,1\n008,2\n")
+        (tmp_path / "b.csv").write_text("vx,3\n")
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("s", str(tmp_path / "*.csv"))
+        rows = sorted(v for (v,) in engine.query("select a1 from s").rows())
+        assert rows == ["007", "008", "vx"]
+        engine.close()
+
+    def test_column_count_mismatch_is_clean_error(self, tmp_path):
+        (tmp_path / "a.csv").write_text("1,2\n")
+        (tmp_path / "b.csv").write_text("1,2,3\n")
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("m", str(tmp_path / "*.csv"))
+        with pytest.raises(CatalogError, match="does not fit the table"):
+            engine.query("select count(*) from m")
+        engine.close()
+
+    def test_header_name_mismatch_is_clean_error(self, tmp_path):
+        (tmp_path / "a.csv").write_text("x,y\n1,2\n")
+        (tmp_path / "b.csv").write_text("x,z\n3,4\n")
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("m", str(tmp_path / "*.csv"))
+        with pytest.raises(CatalogError, match="does not fit the table"):
+            engine.query("select count(*) from m")
+        engine.close()
+
+    def test_headered_parts_union(self, tmp_path):
+        (tmp_path / "a.csv").write_text("x,y\n1,2\n3,4\n")
+        (tmp_path / "b.csv").write_text("x,y\n5,6\n")
+        engine = NoDBEngine(EngineConfig())
+        engine.attach("m", str(tmp_path / "*.csv"))
+        assert engine.query("select sum(x), sum(y) from m").rows()[0] == (9, 12)
+        engine.close()

@@ -180,6 +180,78 @@ def test_concurrent_with_persistent_store_and_restart(policy, nthreads, tmp_path
         engine_b.close()
 
 
+@pytest.mark.parametrize("nthreads", THREAD_COUNTS)
+@pytest.mark.parametrize("policy", STORE_KEEPING)
+def test_concurrent_replay_across_append_matches_oracle(policy, nthreads, tmp_path):
+    """Growth must be invisible too: replay a workload concurrently, append
+    rows to the live file, replay again — both phases equal the serial
+    oracle over the bytes of their moment, and the stale fingerprint was
+    recognized as an append (state extended, not wiped)."""
+    columns = _seeded_table()
+    path, kwargs = render_table(tmp_path, columns, "csv")
+    queries = make_workload(columns, bounds=(-50, 420))
+    expected = oracle_results(path, kwargs, queries)
+    label = f"append {policy} x{nthreads}"
+
+    engine = NoDBEngine(EngineConfig(policy=policy))
+    try:
+        engine.attach("t", path, **kwargs)
+        results = run_workload_concurrently(engine, queries, nthreads)
+        _assert_threads_match_oracle(results, expected, f"{label} pre")
+
+        extra = [[v + 7 for v in col[:40]] for col in columns]
+        from repro.flatfile.writer import format_value
+
+        with open(path, "a") as fh:
+            for i in range(len(extra[0])):
+                fh.write(",".join(format_value(c[i]) for c in extra) + "\n")
+
+        expected_after = oracle_results(path, kwargs, queries)
+        assert expected_after != expected  # the append must be visible
+        results = run_workload_concurrently(engine, queries, nthreads)
+        _assert_threads_match_oracle(results, expected_after, f"{label} post")
+        counters = engine.stats.counters
+        assert counters.append_extensions >= 1, (
+            f"{label}: stale fingerprint was not recognized as an append "
+            f"(counters: {counters.snapshot()})"
+        )
+        assert counters.store_invalidations == 0, label
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("nthreads", THREAD_COUNTS)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_concurrent_multi_file_matches_oracle_on_concatenation(
+    policy, nthreads, tmp_path
+):
+    """A glob attach over split part files must answer — under concurrent
+    replay — exactly like the oracle over the concatenated file (for
+    headerless CSV, concatenation *is* the union)."""
+    columns = _seeded_table()
+    whole, kwargs = render_table(tmp_path, columns, "csv")
+    half = len(columns[0]) // 2
+    parts_dir = tmp_path / "parts"
+    parts_dir.mkdir()
+    text = whole.read_text().splitlines(keepends=True)
+    (parts_dir / "part-000.csv").write_text("".join(text[:half]))
+    (parts_dir / "part-001.csv").write_text("".join(text[half:]))
+
+    queries = make_workload(columns, bounds=(-50, 420))
+    expected = oracle_results(whole, kwargs, queries)
+    label = f"multi {policy} x{nthreads}"
+
+    engine = NoDBEngine(EngineConfig(policy=policy))
+    try:
+        engine.attach("t", str(parts_dir / "part-*.csv"), **kwargs)
+        results = run_workload_concurrently(engine, queries, nthreads)
+        _assert_threads_match_oracle(results, expected, f"{label} cold")
+        results = run_workload_concurrently(engine, queries, nthreads)
+        _assert_threads_match_oracle(results, expected, f"{label} warm")
+    finally:
+        engine.close()
+
+
 @settings(max_examples=4, deadline=None)
 @given(columns=tables())
 @pytest.mark.parametrize("policy", POLICIES)

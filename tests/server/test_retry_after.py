@@ -1,0 +1,67 @@
+"""``Retry-After`` parsing in the HTTP client (RFC 7231 both forms).
+
+The header is allowed to be either delta-seconds (``"120"``) or an
+HTTP-date; proxies in front of a ``repro serve`` process may rewrite one
+into the other.  Unparseable, negative or non-finite values must drop
+the hint rather than poison a caller's backoff arithmetic.
+"""
+
+import datetime
+import email.utils
+
+import pytest
+
+from repro.client import _parse_retry_after
+
+
+class TestDeltaSeconds:
+    def test_integer_seconds(self):
+        assert _parse_retry_after("120") == 120.0
+
+    def test_fractional_seconds(self):
+        assert _parse_retry_after("1.5") == 1.5
+
+    def test_zero(self):
+        assert _parse_retry_after("0") == 0.0
+
+    def test_surrounding_whitespace(self):
+        assert _parse_retry_after("  30 ") == 30.0
+
+    @pytest.mark.parametrize("bad", ["-5", "nan", "inf", "-inf"])
+    def test_negative_and_non_finite_dropped(self, bad):
+        assert _parse_retry_after(bad) is None
+
+
+class TestHttpDate:
+    def test_future_date_yields_positive_delay(self):
+        when = datetime.datetime.now(datetime.timezone.utc) + datetime.timedelta(
+            seconds=90
+        )
+        header = email.utils.format_datetime(when, usegmt=True)
+        got = _parse_retry_after(header)
+        assert got is not None
+        assert 80.0 <= got <= 90.5
+
+    def test_past_date_clamps_to_zero(self):
+        header = "Wed, 21 Oct 2015 07:28:00 GMT"
+        assert _parse_retry_after(header) == 0.0
+
+    def test_naive_minus_zero_offset_treated_as_utc(self):
+        when = datetime.datetime.now(datetime.timezone.utc) + datetime.timedelta(
+            seconds=60
+        )
+        header = when.strftime("%a, %d %b %Y %H:%M:%S -0000")
+        got = _parse_retry_after(header)
+        assert got is not None
+        assert 50.0 <= got <= 60.5
+
+
+class TestGarbage:
+    @pytest.mark.parametrize(
+        "bad", ["", "soon", "Wed, 99 Foo 2015", "12 seconds", "1;2"]
+    )
+    def test_unparseable_dropped(self, bad):
+        assert _parse_retry_after(bad) is None
+
+    def test_missing_header(self):
+        assert _parse_retry_after(None) is None

@@ -267,7 +267,11 @@ class TestStaleness:
         fp = FileFingerprint.of(source)
         store.save(_state(source, fp))
         other = FileFingerprint(
-            size=fp.size, mtime_ns=fp.mtime_ns, ino=fp.ino, probe=b"\x00" * 16
+            size=fp.size,
+            mtime_ns=fp.mtime_ns,
+            ino=fp.ino,
+            head=b"\x00" * 16,
+            tail=b"\x00" * 16,
         )
         outcome = store.load(source, other)
         assert outcome.state is None
