@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from pathlib import Path
 
 from repro.api import table_names_for
@@ -344,7 +346,13 @@ def build_server_from_args(args):
 
 
 def run_serve_command(argv: list[str], stdout, stderr) -> int:
-    """``repro serve [files...]``: run the HTTP query server until ^C."""
+    """``repro serve [files...]``: run the HTTP query server until ^C.
+
+    ``SIGTERM`` drains gracefully: in-flight requests finish, new
+    mutating requests get 503 + ``Retry-After``, and the process exits 0
+    once the listener is closed — so process managers rolling the server
+    never see dropped queries or a dirty exit.
+    """
     args = build_serve_arg_parser().parse_args(argv)
     try:
         server = build_server_from_args(args)
@@ -355,6 +363,19 @@ def run_serve_command(argv: list[str], stdout, stderr) -> int:
         print(f"repro serving on {server.url}", file=stdout)
         if server.engine.tables():
             print(f"tables: {', '.join(server.engine.tables())}", file=stdout)
+        if threading.current_thread() is threading.main_thread():
+            # The handler must not call drain() inline: it runs on the
+            # main thread, which is *inside* serve_forever(), and
+            # shutdown() blocks on serve_forever()'s exit handshake — a
+            # deadlock.  A daemon thread drains while serve_forever()
+            # unwinds naturally below.
+            def _on_sigterm(signum, frame):
+                print("draining (SIGTERM)", file=stdout, flush=True)
+                threading.Thread(
+                    target=server.drain, name="repro-drain", daemon=True
+                ).start()
+
+            signal.signal(signal.SIGTERM, _on_sigterm)
         try:
             server.serve_forever()
         except KeyboardInterrupt:

@@ -23,6 +23,8 @@ import datetime
 import email.utils
 import json
 import math
+import random
+import time
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -30,7 +32,12 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.errors import OverloadedError, ReproError, error_from_payload
+from repro.errors import (
+    DrainingError,
+    OverloadedError,
+    ReproError,
+    error_from_payload,
+)
 from repro.result import QueryResult
 
 
@@ -155,17 +162,51 @@ def _parse_retry_after(value: str | None) -> float | None:
 
 
 class RemoteConnection:
-    """The :class:`repro.api.Connection` surface, over HTTP."""
+    """The :class:`repro.api.Connection` surface, over HTTP.
+
+    Transient server conditions are retried transparently: 429
+    (overload) and 503 (draining, budget pressure) responses back off —
+    honoring the server's ``Retry-After`` hint, capped at
+    ``retry_after_cap_s`` so a broken proxy cannot park the client for
+    an hour — and connection-level failures (refused, reset, timed out)
+    are retried for ``GET`` only, since the server may have applied a
+    ``POST`` before the connection died.  ``DELETE`` is never retried:
+    it is not idempotent against disposable resources (the first attempt
+    may have landed, and a second would delete a successor's namesake).
+    ``max_retries=0`` disables retrying entirely.
+    """
+
+    #: HTTP statuses that signal a transient server condition.
+    _RETRYABLE_STATUSES = frozenset({429, 503})
 
     def __init__(
         self,
         url: str,
         client_id: str | None = None,
         timeout_s: float = 60.0,
+        *,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 5.0,
+        retry_after_cap_s: float = 30.0,
     ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_s < 0 or max_backoff_s < 0 or retry_after_cap_s < 0:
+            raise ValueError("backoff settings must be non-negative")
         self.url = url.rstrip("/")
         self.client_id = client_id
         self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.retry_after_cap_s = retry_after_cap_s
+        #: Requests this connection re-sent after a transient failure.
+        self.client_retries = 0
+
+    def counters(self) -> dict[str, int]:
+        """Client-side counters (the server cannot count our retries)."""
+        return {"client_retries": self.client_retries}
 
     # ----------------------------------------------------------- plumbing
 
@@ -177,14 +218,49 @@ class RemoteConnection:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.url + path, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            raise self._wire_error(exc) from None
+        for attempt in range(self.max_retries + 1):
+            request = urllib.request.Request(
+                self.url + path, data=data, headers=headers, method=method
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                error = self._wire_error(exc)
+                if (
+                    attempt >= self.max_retries
+                    or method == "DELETE"
+                    or error.http_status not in self._RETRYABLE_STATUSES
+                ):
+                    raise error from None
+                delay = self._retry_delay(
+                    attempt, getattr(error, "retry_after_s", None)
+                )
+            except (urllib.error.URLError, ConnectionError, TimeoutError):
+                # Connection died somewhere between us and the handler:
+                # only a GET is provably safe to repeat.
+                if attempt >= self.max_retries or method != "GET":
+                    raise
+                delay = self._retry_delay(attempt, None)
+            self.client_retries += 1
+            if delay > 0:
+                time.sleep(delay)
+        raise AssertionError("retry loop exited without returning or raising")
+
+    def _retry_delay(self, attempt: int, hint: float | None) -> float:
+        """Jittered backoff for retry ``attempt`` (0-based).
+
+        A server ``Retry-After`` hint wins over exponential backoff, but
+        is capped: an absurd hint (misconfigured proxy, clock skew in an
+        HTTP-date) must not stall the caller indefinitely.
+        """
+        if hint is not None and hint >= 0:
+            delay = min(float(hint), self.retry_after_cap_s)
+        else:
+            delay = min(self.backoff_s * (2.0 ** attempt), self.max_backoff_s)
+        # Full jitter in [delay/2, delay]: concurrent clients told to
+        # retry at the same instant must not stampede back in lockstep.
+        return delay * random.uniform(0.5, 1.0)
 
     @staticmethod
     def _wire_error(exc: urllib.error.HTTPError) -> ReproError:
@@ -194,7 +270,7 @@ class RemoteConnection:
         except (ValueError, UnicodeDecodeError, OSError):
             payload = {"error": "internal", "message": f"HTTP {exc.code}"}
         error = error_from_payload(payload)
-        if isinstance(error, OverloadedError):
+        if isinstance(error, (OverloadedError, DrainingError)):
             retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
             if retry_after is not None:
                 error.retry_after_s = retry_after

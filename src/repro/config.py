@@ -13,6 +13,10 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultPlan
 
 #: Loading policies understood by the engine.  Mirrors the curves of the
 #: paper's figures: ``fullload`` is plain MonetDB, ``external`` the MySQL
@@ -169,6 +173,27 @@ class EngineConfig:
     max_cached_results:
         Entry cap of the result cache (least recently used beyond it is
         dropped).
+    io_retry_attempts / io_retry_backoff_s:
+        Bounded retry of transient raw-file read errors: each flat-file
+        read is attempted up to ``io_retry_attempts`` times with
+        exponential backoff starting at ``io_retry_backoff_s`` seconds
+        before the failure surfaces as a taxonomy
+        :class:`~repro.errors.FlatFileError`.  Retries are counted in
+        the ``io_retries`` engine counter.
+    persist_failure_limit:
+        After this many *consecutive* persistent-store write failures
+        the store is marked read-only for the rest of the engine's life:
+        queries keep being served (warm-only degradation) and no further
+        writes are attempted.  Each failure bumps the
+        ``persist_failures`` counter; a successful write resets the
+        consecutive count.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` compiled into the
+        engine's real I/O paths for deterministic failure testing.  When
+        unset, the ``REPRO_FAULTS`` environment hook is consulted once
+        at engine construction (see :mod:`repro.faults`).  Production
+        deployments leave both unset: every fault check is then a dict
+        miss.
     global_lock:
         Serialize the whole load/metadata phase through one engine-wide
         lock — the paper section 5.4 "simple solution", kept as the
@@ -207,6 +232,10 @@ class EngineConfig:
     result_cache: bool = False
     max_cached_results: int = 256
     global_lock: bool = False
+    io_retry_attempts: int = 3
+    io_retry_backoff_s: float = 0.005
+    persist_failure_limit: int = 3
+    fault_plan: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -231,6 +260,12 @@ class EngineConfig:
             raise ValueError("crack_after must be >= 1")
         if self.max_cached_results <= 0:
             raise ValueError("max_cached_results must be positive")
+        if self.io_retry_attempts < 1:
+            raise ValueError("io_retry_attempts must be >= 1")
+        if self.io_retry_backoff_s < 0:
+            raise ValueError("io_retry_backoff_s must be non-negative")
+        if self.persist_failure_limit < 1:
+            raise ValueError("persist_failure_limit must be >= 1")
         if self.splitfile_dir is not None:
             self.splitfile_dir = Path(self.splitfile_dir)
         if self.persist_loads and self.binary_store_dir is None:

@@ -59,6 +59,7 @@ from repro.core.result_cache import FileSignature, QueryResultCache
 from repro.core.splitfile import SplitFileCatalog, cleanup_directory
 from repro.core.statistics import EngineStatistics, QueryStats, Stopwatch
 from repro.errors import CatalogError, FlatFileError, StaleFileError
+from repro.faults import FaultPlan
 from repro.locks import SingleFlight
 from repro.result import QueryResult
 from repro.sql.ast_nodes import SelectStmt
@@ -79,6 +80,15 @@ class NoDBEngine:
 
     def __init__(self, config: EngineConfig | None = None) -> None:
         self.config = config or EngineConfig()
+        # Deterministic fault injection: an explicit plan on the config
+        # wins; otherwise the REPRO_FAULTS env hook is consulted once
+        # here so served subprocesses can run under a plan too.  None in
+        # production — every downstream check is then a no-op.
+        self.fault_plan: FaultPlan | None = (
+            self.config.fault_plan
+            if self.config.fault_plan is not None
+            else FaultPlan.from_env()
+        )
         self.catalog = Catalog()
         self.policy = make_policy(self.config.policy)
         #: Stand-in for splitfiles on dialects that cannot be cracked.
@@ -123,8 +133,15 @@ class NoDBEngine:
         self._persist_futures: list[Future] = []
         #: path -> last-persisted state token; skips no-op re-persists.
         self._persisted_tokens: dict[str, tuple] = {}
+        # Persist-failure degradation: writes that keep failing flip the
+        # store read-only and the engine serves warm-only from memory —
+        # a broken store directory must never fail a query.
+        self._persist_read_only = False
+        self._persist_consecutive_failures = 0
         if self.config.store_dir is not None and self.config.persistent_store:
-            self.persistent_store = PersistentStore(self.config.store_dir)
+            self.persistent_store = PersistentStore(
+                self.config.store_dir, fault_plan=self.fault_plan
+            )
 
     # ----------------------------------------------------------- attaching
 
@@ -151,6 +168,9 @@ class NoDBEngine:
                 bandwidth_bytes_per_sec=self.config.io_bandwidth_bytes_per_sec,
                 format=format,
                 fixed_widths=fixed_widths,
+                fault_plan=self.fault_plan,
+                retry_attempts=self.config.io_retry_attempts,
+                retry_backoff_s=self.config.io_retry_backoff_s,
             )
 
     def detach(self, name: str) -> None:
@@ -254,7 +274,9 @@ class NoDBEngine:
 
         outer = self._lock if self.config.global_lock else nullcontext()
         with outer:
-            bytes_before, reads_before = self._file_io_totals(entries.values())
+            bytes_before, reads_before, retries_before = self._file_io_totals(
+                entries.values()
+            )
             watch.lap()
             views = self._provide_views(bound, entries, qstats, signatures)
             qstats.load_s = watch.lap()
@@ -266,9 +288,14 @@ class NoDBEngine:
         )
         qstats.execute_s = watch.lap()
 
-        bytes_after, reads_after = self._file_io_totals(entries.values())
+        bytes_after, reads_after, retries_after = self._file_io_totals(
+            entries.values()
+        )
         qstats.file_bytes_read = bytes_after - bytes_before
         qstats.file_reads = reads_after - reads_before
+        qstats.io_retries = retries_after - retries_before
+        if qstats.io_retries:
+            self.stats.count("io_retries", qstats.io_retries)
         qstats.served_from_store = all(v.served_from_store for v in views.values())
         qstats.went_to_file = any(v.went_to_file for v in views.values())
         qstats.result_rows = result.num_rows
@@ -617,7 +644,14 @@ class NoDBEngine:
                     # widened schema and mmapped columns in one step and
                     # the warm probe below then serves from them.
                     if self.persistent_store is not None and entry.table is None:
-                        self._restore_persistent(entry, pre_fingerprint)
+                        try:
+                            self._restore_persistent(entry, pre_fingerprint)
+                        except (OSError, FlatFileError):
+                            # A corrupt or unreadable store entry must
+                            # never fail the query: wipe whatever the
+                            # partial restore left behind and scan cold.
+                            self.stats.count("persist_failures")
+                            self._invalidate_entry(entry)
                     ctx = self._make_ctx(
                         entry, needed, condition, qstats, policy_name, for_load=True
                     )
@@ -738,7 +772,7 @@ class NoDBEngine:
             )
         return entry.split_catalog
 
-    def _file_io_totals(self, entries) -> tuple[int, int]:
+    def _file_io_totals(self, entries) -> tuple[int, int, int]:
         """Raw-file I/O attributable to the *calling thread*.
 
         ``QueryStats.file_bytes_read`` is the before/after delta of this,
@@ -751,6 +785,7 @@ class NoDBEngine:
         """
         total_bytes = 0
         total_reads = 0
+        total_retries = 0
         flat = []
         for entry in entries:
             if isinstance(entry, MultiFileEntry):
@@ -761,10 +796,11 @@ class NoDBEngine:
             nbytes, calls = entry.file.thread_io_totals()
             total_bytes += nbytes
             total_reads += calls
+            total_retries += entry.file.thread_io_retries()
             split = entry.split_catalog
             if split is not None:
                 total_bytes += split.io_bytes_read()
-        return total_bytes, total_reads
+        return total_bytes, total_reads, total_retries
 
     # ----------------------------------------------------- persistent store
 
@@ -863,6 +899,7 @@ class NoDBEngine:
         """
         if (
             self.persistent_store is None
+            or self._persist_read_only
             or entry.table is None
             or entry.detached
         ):
@@ -890,7 +927,14 @@ class NoDBEngine:
         key: str,
         token: tuple,
     ) -> None:
-        """Writer-thread body: snapshot under the read lock, write outside."""
+        """Writer-thread body: snapshot under the read lock, write outside.
+
+        A failed disk write degrades, never escalates: the token is
+        dropped (a later load may retry), the failure is counted, and
+        after ``config.persist_failure_limit`` *consecutive* failures the
+        store goes read-only for this engine — queries keep being served
+        warm from memory, they just stop surviving restarts.
+        """
         try:
             with entry.rwlock.read_locked():
                 if (
@@ -902,8 +946,21 @@ class NoDBEngine:
                 state = PersistedState.from_entry(entry, fingerprint)
             self.persistent_store.save(state)
             self.stats.count("persist_writes")
+            with self._persist_lock:
+                self._persist_consecutive_failures = 0
+        except (OSError, FlatFileError):
+            with self._persist_lock:
+                if self._persisted_tokens.get(key) == token:
+                    del self._persisted_tokens[key]
+                self._persist_consecutive_failures += 1
+                if (
+                    self._persist_consecutive_failures
+                    >= self.config.persist_failure_limit
+                ):
+                    self._persist_read_only = True
+            self.stats.count("persist_failures")
         except BaseException:
-            # Let a later load retry what this write failed to record.
+            # Non-I/O failures (bugs) still surface via flush.
             with self._persist_lock:
                 if self._persisted_tokens.get(key) == token:
                     del self._persisted_tokens[key]

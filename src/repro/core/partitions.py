@@ -550,6 +550,14 @@ def parallel_pass(
     workers = min(config.resolved_parallel_workers(), len(tasks))
     method = config.parallel_start_method
     try:
+        # Fault point ``pool.worker``: simulate the pool dying mid-pass.
+        # Raised inside the try so the *real* recovery below runs — the
+        # broken pool is discarded and the caller falls back to a serial
+        # scan with this pass's partial work dropped atomically (the
+        # entry is only mutated by _merge_results, after a full map).
+        plan = entry.file.fault_plan
+        if plan is not None:
+            plan.check("pool.worker")
         results = list(_get_pool(method, workers).map(scan_partition, tasks))
     except (BrokenProcessPool, OSError, PermissionError):
         _discard_pool(method, workers)

@@ -53,6 +53,9 @@ class QueryStats:
     #: At least one table view was answered by a cracker index instead
     #: of full-column masks.
     served_by_cracker: bool = False
+    #: Raw-file reads this query re-attempted after a transient I/O
+    #: error (bounded retry-with-backoff in the flat-file layer).
+    io_retries: int = 0
 
     def summary(self) -> str:
         src = "store" if self.served_from_store else "file"
@@ -85,6 +88,7 @@ class QueryStats:
             "zone_map_skips": self.zone_map_skips,
             "cracks": self.cracks,
             "served_by_cracker": self.served_by_cracker,
+            "io_retries": self.io_retries,
         }
 
 
@@ -134,6 +138,11 @@ class ConcurrencyCounters:
     zone_map_skips: int = 0
     #: Crack operations performed by warm serves across all queries.
     cracks: int = 0
+    #: Raw-file reads re-attempted after a transient I/O error.
+    io_retries: int = 0
+    #: Persistent-store writes or restores that failed (the engine
+    #: degraded to warm-only serving instead of failing the query).
+    persist_failures: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -147,6 +156,8 @@ class ConcurrencyCounters:
             "store_invalidations": self.store_invalidations,
             "zone_map_skips": self.zone_map_skips,
             "cracks": self.cracks,
+            "io_retries": self.io_retries,
+            "persist_failures": self.persist_failures,
         }
 
 

@@ -193,6 +193,32 @@ class OverloadedError(ReproError):
         self.retry_after_s = retry_after_s
 
 
+class InternalServerError(ReproError):
+    """An unexpected (non-taxonomy) exception escaped a request handler.
+
+    The serving layer maps any such exception to this stable wire code
+    so clients always receive a JSON taxonomy payload — never a raw
+    stack trace or an HTML error page.
+    """
+
+    code = "internal_error"
+    http_status = 500
+
+
+class DrainingError(ReproError):
+    """The server is draining: finishing in-flight queries, taking no
+    new ones.  Maps to 503 + ``Retry-After`` — clients should back off
+    and retry against the replacement process.
+    """
+
+    code = "draining"
+    http_status = 503
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message, retry_after_s=retry_after_s)
+        self.retry_after_s = retry_after_s
+
+
 class QueryTimeoutError(ReproError):
     """A served query exceeded the server's request timeout."""
 

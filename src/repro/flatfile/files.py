@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import FlatFileError
+from repro.faults import FaultPlan, retry_io
 from repro.flatfile.dialects import FormatAdapter, make_adapter, sniff_format
 
 
@@ -230,11 +231,14 @@ class IOStats:
     bytes_read: int = 0
     read_calls: int = 0
     full_scans: int = 0
+    #: Reads re-attempted after a transient I/O error (injected or real).
+    retries: int = 0
 
     def merge(self, other: "IOStats") -> None:
         self.bytes_read += other.bytes_read
         self.read_calls += other.read_calls
         self.full_scans += other.full_scans
+        self.retries += other.retries
 
 
 @dataclass
@@ -266,6 +270,11 @@ class FlatFile:
     stats: IOStats = field(default_factory=IOStats)
     format: "str | FormatAdapter | None" = None
     fixed_widths: tuple[int, ...] | None = None
+    #: Deterministic fault injection (None in production: checks no-op).
+    fault_plan: FaultPlan | None = None
+    #: Bounded retry of transient read errors (attempts >= 1; 1 = none).
+    retry_attempts: int = 3
+    retry_backoff_s: float = 0.005
 
     #: Bytes the lazy dialect sniffer samples from the head of the file.
     _SNIFF_BYTES = 1 << 16
@@ -366,6 +375,48 @@ class FlatFile:
         tls = self._thread_stats
         return getattr(tls, "bytes_read", 0), getattr(tls, "read_calls", 0)
 
+    def thread_io_retries(self) -> int:
+        """This thread's cumulative read retries on this file."""
+        return getattr(self._thread_stats, "retries", 0)
+
+    # --------------------------------------------------- faults and retry
+
+    def _maybe_fault(self, point: str) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.check(point)
+
+    def _truncated(self, data: bytes) -> bytes:
+        """Apply an injected short read to ``data`` (no-op in production)."""
+        if self.fault_plan is not None:
+            return self.fault_plan.truncate("flatfile.short_read", data)
+        return data
+
+    def _count_retry(self, attempt: int, exc: OSError) -> None:
+        with self._stats_lock:
+            self.stats.retries += 1
+        tls = self._thread_stats
+        tls.retries = getattr(tls, "retries", 0) + 1
+
+    def _read_retrying(self, fn, what: str):
+        """Run one read attempt function under bounded retry.
+
+        Transient ``OSError`` (including injected faults and short
+        reads) is retried with backoff; a persistent failure surfaces as
+        the taxonomy :class:`FlatFileError` so callers — and the wire —
+        never see a raw ``OSError`` from the read path.
+        """
+        try:
+            return retry_io(
+                fn,
+                attempts=self.retry_attempts,
+                backoff_s=self.retry_backoff_s,
+                on_retry=self._count_retry,
+            )
+        except FlatFileError:
+            raise
+        except OSError as exc:
+            raise FlatFileError(f"cannot read {what}: {exc}") from exc
+
     def account_reads(
         self,
         nbytes: int,
@@ -393,7 +444,23 @@ class FlatFile:
         kernel frames rows and fields over these bytes directly, so
         pure-ASCII files never materialize a decoded Python string at all.
         """
-        data = self.path.read_bytes()
+
+        def once() -> bytes:
+            self._maybe_fault("flatfile.read")
+            # Short-read detection: fewer bytes than the file holds means
+            # a read truncated mid-flight, never valid data.  ``>=`` not
+            # ``==``: a legitimate tail-append may land between the stat
+            # and the read, and the extra bytes are real file contents.
+            expected = os.stat(self.path).st_size
+            data = self._truncated(self.path.read_bytes())
+            if len(data) < expected:
+                raise OSError(
+                    f"short read of {self.path}: "
+                    f"{len(data)} of {expected} bytes"
+                )
+            return data
+
+        data = self._read_retrying(once, f"flat file {self.path}")
         self._account(len(data), full_scan=True)
         return data
 
@@ -414,14 +481,24 @@ class FlatFile:
         """
         if start < 0 or end < start:
             raise FlatFileError(f"bad byte range [{start}, {end})")
-        try:
+
+        def once() -> bytes:
+            self._maybe_fault("flatfile.read")
             with open(self.path, "rb") as f:
                 f.seek(start)
-                data = f.read(end - start)
-        except OSError as exc:
-            raise FlatFileError(
-                f"cannot read {self.path} range [{start}, {end}): {exc}"
-            ) from exc
+                data = self._truncated(f.read(end - start))
+            # Callers derive ranges from the positional map or the
+            # fingerprint, so a short range read is always truncation.
+            if len(data) != end - start:
+                raise OSError(
+                    f"short read of {self.path} range [{start}, {end}): "
+                    f"got {len(data)} bytes"
+                )
+            return data
+
+        data = self._read_retrying(
+            once, f"{self.path} range [{start}, {end})"
+        )
         self._account(len(data), full_scan=False)
         return data
 
@@ -447,7 +524,23 @@ class FlatFile:
         """
         win_starts, win_ends = coalesce_ranges(starts, ends, max_gap)
         if len(win_starts):
-            chunks = self._read_window_list(win_starts, win_ends, workers)
+            expected = int((win_ends - win_starts).sum())
+
+            def once() -> list[bytes]:
+                self._maybe_fault("flatfile.read")
+                got = self._read_window_list(win_starts, win_ends, workers)
+                if got:
+                    got[0] = self._truncated(got[0])
+                # Window bounds come from the positional map: every
+                # window lies inside the file, so short is truncation.
+                if sum(len(c) for c in got) != expected:
+                    raise OSError(
+                        f"short window read of {self.path}: expected "
+                        f"{expected} bytes over {len(win_starts)} windows"
+                    )
+                return got
+
+            chunks = self._read_retrying(once, f"{self.path} window reads")
         else:
             chunks = []
         sizes = np.asarray([len(c) for c in chunks], dtype=np.int64)

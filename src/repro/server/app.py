@@ -47,8 +47,9 @@ from repro.core.engine import NoDBEngine
 from repro.errors import (
     BadRequestError,
     CatalogError,
+    DrainingError,
+    InternalServerError,
     NotFoundError,
-    OverloadedError,
     QueryTimeoutError,
     ReproError,
     TableConflictError,
@@ -127,6 +128,7 @@ class ReproServer:
             memory=engine.memory,
             ttl_s=result_ttl_s,
             max_results=max_results,
+            fault_plan=engine.fault_plan,
         )
         self._pool = ThreadPoolExecutor(
             max_workers=max_inflight, thread_name_prefix="repro-query"
@@ -137,6 +139,16 @@ class ReproServer:
         self._thread: threading.Thread | None = None
         self._serving = False
         self._closed = False
+        # Graceful drain: when set, mutating routes are rejected with
+        # 503 + Retry-After while in-flight requests run to completion.
+        self._draining = False
+        self._drained_requests = 0
+        self._active_requests = 0
+        self._active_cv = threading.Condition()
+        # Serializes close(): a drain thread and the owner's __exit__
+        # may race here, and the loser must *block* until teardown is
+        # genuinely complete, not skip past a half-closed server.
+        self._close_lock = threading.Lock()
         self._http = ThreadingHTTPServer((host, port), _Handler)
         self._http.daemon_threads = True
         self._http.repro = self  # type: ignore[attr-defined]
@@ -173,7 +185,52 @@ class ReproServer:
         self._serving = True
         self._http.serve_forever()
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_request(self) -> None:
+        with self._active_cv:
+            self._active_requests += 1
+
+    def end_request(self) -> None:
+        with self._active_cv:
+            self._active_requests -= 1
+            if self._active_requests <= 0:
+                self._active_cv.notify_all()
+
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Graceful shutdown: finish in-flight requests, refuse new work.
+
+        Sets the draining flag (mutating routes then answer 503 +
+        ``Retry-After``; ``/health`` reports ``draining``), waits until
+        every in-flight request has been answered (up to ``timeout_s``;
+        ``None`` waits indefinitely), then closes the listener and the
+        query pool.  Returns ``True`` when everything in flight finished
+        before the deadline.  Idempotent and safe from any thread except
+        one currently inside :meth:`serve_forever`.
+        """
+        with self._active_cv:
+            self._draining = True
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        drained = True
+        with self._active_cv:
+            while self._active_requests > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        drained = False
+                        break
+                self._active_cv.wait(timeout=remaining)
+        self.close()
+        return drained
+
     def close(self) -> None:
+        with self._close_lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
         if self._closed:
             return
         self._closed = True
@@ -206,6 +263,18 @@ class ReproServer:
         """Route one request; returns (status, payload, extra headers)."""
         with self._requests_lock:
             self._requests += 1
+        if self.engine.fault_plan is not None:
+            # Simulates an unexpected handler crash: the injected
+            # OSError is not a ReproError, so the wire adapter maps it
+            # to the stable ``internal_error`` payload.
+            self.engine.fault_plan.check("server.request")
+        if self._draining and self._refused_while_draining(method, parts):
+            with self._requests_lock:
+                self._drained_requests += 1
+            raise DrainingError(
+                "server is draining; retry against a replacement process",
+                retry_after_s=1.0,
+            )
         if parts == ["query"] and method == "POST":
             return self._post_query(body, client)
         if len(parts) >= 1 and parts[0] == "results":
@@ -215,8 +284,21 @@ class ReproServer:
         if parts == ["stats"] and method == "GET":
             return 200, self.stats(), {}
         if parts == ["health"] and method == "GET":
-            return 200, {"status": "ok", "uptime_s": time.time() - self._started_at}, {}
+            status = "draining" if self._draining else "ok"
+            return 200, {"status": status, "uptime_s": time.time() - self._started_at}, {}
         raise NotFoundError(f"no route {method} /{'/'.join(parts)}")
+
+    @staticmethod
+    def _refused_while_draining(method: str, parts: list[str]) -> bool:
+        """New work is refused during drain; reads keep being served.
+
+        ``POST /query`` and catalog mutation start new work; fetching
+        pages of already-computed results (and deleting them) remains
+        allowed so clients can finish collecting what they started.
+        """
+        if method == "POST":
+            return True
+        return method == "DELETE" and bool(parts) and parts[0] == "tables"
 
     # -------------------------------------------------------------- query
 
@@ -234,10 +316,17 @@ class ReproServer:
             raise BadRequestError("body must carry a non-empty 'sql' string")
         page_size = self._clamped_page_size(body)
         self.admission.acquire(client)
-        future: Future[QueryResult] = self._pool.submit(self.engine.query, sql)
         # The slot is held until the engine is genuinely done with the
         # query — a timed-out request must keep occupying capacity while
         # its query still runs, or timeouts would defeat backpressure.
+        # If submit itself fails (pool shut down mid-drain), the done
+        # callback never runs, so the slot must be released here or it
+        # leaks forever.
+        try:
+            future: Future[QueryResult] = self._pool.submit(self.engine.query, sql)
+        except BaseException:
+            self.admission.release(client)
+            raise
         future.add_done_callback(lambda _f: self.admission.release(client))
         try:
             result = future.result(timeout=self.query_timeout_s)
@@ -404,6 +493,9 @@ class ReproServer:
                 "page_size_cap": self.page_size_cap,
                 "default_page_size": self.default_page_size,
                 "query_timeout_s": self.query_timeout_s,
+                "draining": self._draining,
+                "drained_requests": self._drained_requests,
+                "active_requests": self._active_requests,
             },
         }
 
@@ -437,29 +529,32 @@ class _Handler(BaseHTTPRequestHandler):
         return body
 
     def _handle(self, method: str) -> None:
+        app = self._app
+        # In-flight accounting brackets the *whole* exchange (dispatch
+        # and response write): drain() waits on it, so a request being
+        # answered when SIGTERM lands always completes.
+        app.begin_request()
         try:
-            parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
-            body = self._read_body() if method in ("POST", "PUT") else {}
-            status, payload, headers = self._app.dispatch(
-                method, parts, body, self._client_id()
-            )
-        except ReproError as exc:
-            headers = {}
-            if isinstance(exc, OverloadedError):
-                headers["Retry-After"] = f"{max(1, round(exc.retry_after_s))}"
-            self._send_json(exc.http_status, exc.to_payload(), headers)
-            return
-        except Exception as exc:  # never leak a raw traceback to the wire
-            self._send_json(
-                500,
-                {
-                    "error": "internal",
-                    "message": f"{exc.__class__.__name__}: {exc}",
-                    "details": {},
-                },
-            )
-            return
-        self._send_json(status, payload, headers)
+            try:
+                parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+                body = self._read_body() if method in ("POST", "PUT") else {}
+                status, payload, headers = app.dispatch(
+                    method, parts, body, self._client_id()
+                )
+            except ReproError as exc:
+                headers = {}
+                retry_after = getattr(exc, "retry_after_s", None)
+                if retry_after is not None:
+                    headers["Retry-After"] = f"{max(1, round(retry_after))}"
+                self._send_json(exc.http_status, exc.to_payload(), headers)
+                return
+            except Exception as exc:  # never leak a raw traceback to the wire
+                mapped = InternalServerError(f"{exc.__class__.__name__}: {exc}")
+                self._send_json(mapped.http_status, mapped.to_payload())
+                return
+            self._send_json(status, payload, headers)
+        finally:
+            app.end_request()
 
     def _send_json(
         self, status: int, payload: dict, headers: dict[str, str] | None = None

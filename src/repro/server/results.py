@@ -27,11 +27,13 @@ import json
 import secrets
 import threading
 import time
+from contextlib import suppress
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional
 
 from repro.errors import UnknownResultError
+from repro.faults import FaultPlan
 from repro.result import QueryResult
 from repro.storage.memory import MemoryManager
 
@@ -76,6 +78,7 @@ class ResultManager:
         ttl_s: float = 300.0,
         max_results: int = 256,
         clock: Callable[[], float] = time.time,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if ttl_s <= 0:
             raise ValueError(f"ttl_s must be positive, got {ttl_s}")
@@ -87,6 +90,7 @@ class ResultManager:
         self.ttl_s = ttl_s
         self.max_results = max_results
         self._clock = clock
+        self.fault_plan = fault_plan
         self._lock = threading.Lock()
         self._entries: dict[str, _Entry] = {}
         #: Leaf lock for counters bumped from MemoryManager droppers
@@ -98,6 +102,8 @@ class ResultManager:
         self.lru_evicted = 0
         self.ram_spills = 0
         self.disk_reloads = 0
+        self.write_failures = 0
+        self.unlink_failures = 0
         self._reindex()
 
     # ------------------------------------------------------------- layout
@@ -148,8 +154,19 @@ class ResultManager:
         )
         path = self._path(result_id)
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(body, encoding="utf-8")
-        tmp.replace(path)
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.check("results.write")
+            tmp.write_text(body, encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            # Full or broken result disk degrades the resource to
+            # RAM-only: the client still gets its result id and pages;
+            # it just won't survive a memory-pressure spill or restart.
+            with suppress(OSError):
+                tmp.unlink(missing_ok=True)
+            with self._counter_lock:
+                self.write_failures += 1
         entry = _Entry(
             result_id=result_id,
             meta=meta,
@@ -228,6 +245,8 @@ class ResultManager:
     def _reload(self, entry: _Entry) -> QueryResult:
         """Re-read a spilled result from disk and re-charge its RAM copy."""
         try:
+            if self.fault_plan is not None:
+                self.fault_plan.check("results.read")
             payload = json.loads(self._path(entry.result_id).read_text(encoding="utf-8"))
             result = QueryResult.from_json_dict(payload["result"])
         except (OSError, ValueError, KeyError, TypeError):
@@ -273,7 +292,16 @@ class ResultManager:
         entry.result = None
         if self.memory is not None:
             self.memory.forget((_MEMORY_TABLE, entry.result_id))
-        self._path(entry.result_id).unlink(missing_ok=True)
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.check("results.unlink")
+            self._path(entry.result_id).unlink(missing_ok=True)
+        except OSError:
+            # A failed unlink must not wedge GC: the index entry is
+            # already gone, so the resource is unreachable either way;
+            # the orphan file is retried by a later reindex/expiry pass.
+            with self._counter_lock:
+                self.unlink_failures += 1
         if counter is not None:
             setattr(self, counter, getattr(self, counter) + 1)
 
@@ -292,6 +320,8 @@ class ResultManager:
             ram_resident = sum(1 for e in self._entries.values() if e.result is not None)
         with self._counter_lock:
             spills, reloads = self.ram_spills, self.disk_reloads
+            write_failures = self.write_failures
+            unlink_failures = self.unlink_failures
         return {
             "results_held": held,
             "results_ram_resident": ram_resident,
@@ -300,6 +330,8 @@ class ResultManager:
             "lru_evicted": self.lru_evicted,
             "ram_spills": spills,
             "disk_reloads": reloads,
+            "write_failures": write_failures,
+            "unlink_failures": unlink_failures,
         }
 
 

@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # import would be circular at runtime (core -> storage)
     from repro.core.splitfile import SplitFileCatalog
     from repro.core.zonemaps import ZoneMapIndex
     from repro.cracking.cracker import CrackerColumn
+from repro.faults import FaultPlan
 from repro.flatfile.files import FileFingerprint, FlatFile
 from repro.flatfile.positions import PositionalMap
 from repro.flatfile.schema import (
@@ -224,6 +225,11 @@ class MultiFileEntry:
     bandwidth_bytes_per_sec: float | None = None
     format: str | None = None
     fixed_widths: tuple[int, ...] | None = None
+    #: Fault-injection plan inherited by every part's FlatFile.
+    fault_plan: "FaultPlan | None" = None
+    #: Transient-I/O retry knobs inherited by every part's FlatFile.
+    retry_attempts: int = 3
+    retry_backoff_s: float = 0.005
     #: Resolved part-path string -> that part's own TableEntry.
     parts: dict[str, TableEntry] = field(default_factory=dict)
     #: The merged (widest-per-column) schema across all parts seen.
@@ -287,6 +293,9 @@ class MultiFileEntry:
                         bandwidth_bytes_per_sec=self.bandwidth_bytes_per_sec,
                         format=self.format,
                         fixed_widths=self.fixed_widths,
+                        fault_plan=self.fault_plan,
+                        retry_attempts=self.retry_attempts,
+                        retry_backoff_s=self.retry_backoff_s,
                     ),
                 )
                 self._reconcile_schema(entry)
@@ -345,6 +354,9 @@ class Catalog:
         bandwidth_bytes_per_sec: float | None = None,
         format: str | None = None,
         fixed_widths: tuple[int, ...] | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_attempts: int = 3,
+        retry_backoff_s: float = 0.005,
     ) -> "TableEntry | MultiFileEntry":
         """Attach one flat file (still no I/O beyond an existence check).
 
@@ -372,6 +384,9 @@ class Catalog:
                 bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
                 format=format,
                 fixed_widths=fixed_widths,
+                fault_plan=fault_plan,
+                retry_attempts=retry_attempts,
+                retry_backoff_s=retry_backoff_s,
             )
             self.entries[key] = multi
             return multi
@@ -383,6 +398,9 @@ class Catalog:
                 bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
                 format=format,
                 fixed_widths=fixed_widths,
+                fault_plan=fault_plan,
+                retry_attempts=retry_attempts,
+                retry_backoff_s=retry_backoff_s,
             ),
         )
         self.entries[key] = entry

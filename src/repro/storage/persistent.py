@@ -58,6 +58,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.faults import FaultPlan
 from repro.flatfile.files import FileFingerprint, detect_tail_append
 from repro.flatfile.positions import PositionalMap
 from repro.flatfile.schema import DataType
@@ -194,6 +195,8 @@ class PersistentStore:
 
     directory: Path
     stats: PersistentStoreStats = field(default_factory=PersistentStoreStats)
+    #: Deterministic fault injection (None in production: checks no-op).
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         self.directory = Path(self.directory)
@@ -223,6 +226,8 @@ class PersistentStore:
         so persisting a newly loaded column does not rewrite its
         siblings.  The manifest is replaced last, atomically.
         """
+        if self.fault_plan is not None:
+            self.fault_plan.check("persist.write")
         edir = self.entry_dir(state.source)
         fp_manifest = state.fingerprint.as_manifest()
         old = self._read_manifest(edir)
@@ -354,6 +359,8 @@ class PersistentStore:
         same branding rule as cold loads).  Any damage — garbage
         manifest, missing or mis-sized array file — is a plain miss.
         """
+        if self.fault_plan is not None:
+            self.fault_plan.check("persist.read")
         edir = self.entry_dir(source)
         manifest = self._read_manifest(edir)
         if not manifest or manifest.get("version") != _VERSION:

@@ -8,6 +8,8 @@ status codes end to end, not just the dispatch table.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro import EngineConfig, NoDBEngine
@@ -15,9 +17,38 @@ from repro.client import RemoteConnection
 from repro.server import ReproServer
 
 
+def assert_no_leaks(server: ReproServer, timeout_s: float = 10.0) -> None:
+    """Every test's exit invariant: nothing pinned, held or in flight.
+
+    Admission slots are released by a future's done-callback and may
+    land a beat after the HTTP response, so the in-flight count gets a
+    grace period; pins and scan flights must already be clean.
+    """
+    deadline = time.monotonic() + timeout_s
+    while server.admission.snapshot()["inflight"] > 0:
+        assert time.monotonic() < deadline, (
+            f"admission slots leaked: {server.admission.snapshot()}"
+        )
+        time.sleep(0.01)
+    engine = server.engine
+    memory = engine.memory
+    with memory._lock:
+        pinned = {
+            key: frag.pins for key, frag in memory.fragments.items() if frag.pins
+        }
+    assert not pinned, f"pinned fragments leaked: {pinned}"
+    assert engine._scan_gate.in_flight() == 0, "shared-scan flights leaked"
+
+
 @pytest.fixture
 def server_factory():
-    """Build live servers with arbitrary knobs; closes them at teardown."""
+    """Build live servers with arbitrary knobs; closes them at teardown.
+
+    Teardown also asserts the leak invariants on every server a test
+    booted — a request path that leaks a pin, a scan flight or an
+    admission slot fails the test that exercised it, whatever it was
+    nominally about.
+    """
     servers: list[ReproServer] = []
 
     def make(config: EngineConfig | None = None, **server_kwargs) -> ReproServer:
@@ -27,8 +58,12 @@ def server_factory():
         return server.start()
 
     yield make
-    for server in servers:
-        server.close()
+    try:
+        for server in servers:
+            assert_no_leaks(server)
+    finally:
+        for server in servers:
+            server.close()
 
 
 @pytest.fixture

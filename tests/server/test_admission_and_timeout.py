@@ -50,7 +50,7 @@ def test_global_cap_rejects_with_429_and_retry_after(server_factory, small_csv):
         gate.started.acquire(timeout=10)
 
         with pytest.raises(OverloadedError) as excinfo:
-            RemoteConnection(server.url, client_id="c9").execute(sql)
+            RemoteConnection(server.url, client_id="c9", max_retries=0).execute(sql)
         assert excinfo.value.code == "overloaded"
         assert excinfo.value.http_status == 429
         # Retry-After header round-trips into the client-side exception.
@@ -69,7 +69,9 @@ def test_per_client_cap_rejects_only_the_greedy_client(server_factory, small_csv
     server = server_factory(max_inflight=8, max_inflight_per_client=1)
     server.engine.attach("r", small_csv)
     gate = _BlockedEngine(server)
-    greedy = RemoteConnection(server.url, client_id="greedy")
+    # max_retries=0: this test asserts exact rejection counts, so the
+    # client must not transparently re-send the 429'd request.
+    greedy = RemoteConnection(server.url, client_id="greedy", max_retries=0)
     sql = "select count(*) from r"
     with ThreadPoolExecutor(max_workers=1) as pool:
         future = pool.submit(greedy.execute, sql)

@@ -1,0 +1,350 @@
+"""End-to-end resilience of the serving layer.
+
+Covers the degraded modes a production server must survive: unexpected
+handler exceptions mapped to the stable ``internal_error`` wire code,
+graceful drain (in-flight finishes, new work gets 503 + ``Retry-After``),
+result-resource GC under disk faults, admission-slot hygiene when the
+query pool is gone, and the client's transparent retry layer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import urllib.error
+
+import pytest
+
+from repro import EngineConfig
+from repro.client import RemoteConnection
+from repro.errors import (
+    DrainingError,
+    InternalServerError,
+    UnknownResultError,
+)
+from repro.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.server.results import ResultManager
+from repro.result import QueryResult
+
+import numpy as np
+
+
+def _wait_until(predicate, timeout_s: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.01)
+
+
+# ---------------------------------------------------------------------------
+# internal_error mapping
+# ---------------------------------------------------------------------------
+
+
+class TestInternalErrorMapping:
+    def test_unexpected_handler_exception_maps_to_internal_error(
+        self, server_factory, small_csv
+    ):
+        plan = FaultPlan({"server.request": FaultSpec(times=1)})
+        server = server_factory(EngineConfig(fault_plan=plan))
+        server.engine.attach("r", small_csv)
+        remote = RemoteConnection(server.url, max_retries=0)
+        with pytest.raises(InternalServerError) as excinfo:
+            remote.execute("select count(*) from r")
+        assert excinfo.value.code == "internal_error"
+        assert excinfo.value.http_status == 500
+        # The injected crash burned exactly one request; the server keeps
+        # serving (same engine, same connection) afterwards.
+        assert remote.execute("select count(*) from r").rows() == [(500,)]
+
+    def test_taxonomy_errors_keep_their_own_codes(self, served):
+        remote = RemoteConnection(served.url, max_retries=0)
+        with pytest.raises(UnknownResultError):
+            remote.result("no-such-id")
+
+
+# ---------------------------------------------------------------------------
+# graceful drain
+# ---------------------------------------------------------------------------
+
+
+class _BlockedEngine:
+    """Wrap ``engine.query`` so test code controls when queries finish."""
+
+    def __init__(self, server):
+        self.started = threading.Semaphore(0)
+        self.release = threading.Event()
+        real_query = server.engine.query
+
+        def blocked(sql):
+            self.started.release()
+            assert self.release.wait(timeout=30), "test never released the query"
+            return real_query(sql)
+
+        server.engine.query = blocked
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_inflight_and_rejects_new_work(
+        self, server_factory, small_csv
+    ):
+        server = server_factory()
+        server.engine.attach("r", small_csv)
+        gate = _BlockedEngine(server)
+        remote = RemoteConnection(server.url, max_retries=0)
+        sql = "select count(*) from r"
+
+        inflight_result: list = []
+        runner = threading.Thread(
+            target=lambda: inflight_result.append(remote.execute(sql).rows()),
+            daemon=True,
+        )
+        runner.start()
+        assert gate.started.acquire(timeout=10)
+
+        drain_outcome: list = []
+        drainer = threading.Thread(
+            target=lambda: drain_outcome.append(server.drain(timeout_s=30)),
+            daemon=True,
+        )
+        drainer.start()
+        _wait_until(lambda: server.draining)
+
+        # Draining: health says so, new queries bounce with 503 +
+        # Retry-After, reads are still served.
+        health = RemoteConnection(server.url, max_retries=0).health()
+        assert health["status"] == "draining"
+        with pytest.raises(DrainingError) as excinfo:
+            RemoteConnection(server.url, max_retries=0).execute(sql)
+        assert excinfo.value.http_status == 503
+        assert excinfo.value.retry_after_s >= 1.0
+        stats = RemoteConnection(server.url, max_retries=0).stats()
+        assert stats["server"]["draining"] is True
+        assert stats["server"]["drained_requests"] >= 1
+
+        # The in-flight query completes with the right answer, and drain
+        # reports a clean finish.
+        gate.release.set()
+        runner.join(timeout=30)
+        drainer.join(timeout=30)
+        assert inflight_result == [[(500,)]]
+        assert drain_outcome == [True]
+        # The listener is gone: fresh connections are refused.
+        with pytest.raises((urllib.error.URLError, ConnectionError)):
+            RemoteConnection(server.url, max_retries=0).health()
+
+    def test_drain_without_load_closes_immediately(self, server_factory, small_csv):
+        server = server_factory()
+        server.engine.attach("r", small_csv)
+        assert server.drain(timeout_s=10) is True
+        assert server._closed
+
+    def test_draining_rejects_catalog_mutation_but_serves_reads(
+        self, server_factory, small_csv
+    ):
+        server = server_factory()
+        server.engine.attach("r", small_csv)
+        remote = RemoteConnection(server.url, max_retries=0)
+        result = remote.execute("select count(*) from r")
+        with server._active_cv:
+            server._draining = True  # flag only: keep the listener alive
+        assert remote.health()["status"] == "draining"
+        # Reads still work: tables listing, result paging.
+        assert remote.tables() == ["r"]
+        assert remote.result(result.result_id).num_rows == 1
+        with pytest.raises(DrainingError):
+            remote.attach("s", small_csv)
+        with pytest.raises(DrainingError):
+            remote.detach("r")
+        with server._active_cv:
+            server._draining = False
+
+
+# ---------------------------------------------------------------------------
+# admission-slot hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestSlotHygiene:
+    def test_submit_failure_releases_the_admission_slot(
+        self, server_factory, small_csv
+    ):
+        server = server_factory()
+        server.engine.attach("r", small_csv)
+        # Shut the query pool down underneath the server: submit now
+        # raises, and the slot acquired before it must be released.
+        server._pool.shutdown(wait=True)
+        remote = RemoteConnection(server.url, max_retries=0)
+        with pytest.raises(InternalServerError):
+            remote.execute("select count(*) from r")
+        assert server.admission.snapshot()["inflight"] == 0
+
+
+# ---------------------------------------------------------------------------
+# result-resource GC under disk faults
+# ---------------------------------------------------------------------------
+
+
+def _result(n: int = 4) -> QueryResult:
+    return QueryResult(["a"], [np.arange(n, dtype=np.int64)])
+
+
+class TestResultManagerDiskFaults:
+    def test_unlink_fault_does_not_wedge_gc(self, tmp_path):
+        clock = [0.0]
+        plan = FaultPlan({"results.unlink": FaultSpec(times=2)})
+        manager = ResultManager(
+            tmp_path, ttl_s=10.0, clock=lambda: clock[0], fault_plan=plan
+        )
+        meta = manager.store(_result(), page_size=2)
+        clock[0] = 100.0  # expire it; the unlink will fail (injected)
+        manager.purge()
+        snap = manager.snapshot()
+        assert snap["results_held"] == 0
+        assert snap["expired"] == 1
+        assert snap["unlink_failures"] == 1
+        with pytest.raises(UnknownResultError):
+            manager.meta(meta["result_id"])
+        # GC is not wedged: later resources store and expire cleanly.
+        meta2 = manager.store(_result(), page_size=2)
+        assert manager.meta(meta2["result_id"])["result_id"] == meta2["result_id"]
+        clock[0] = 200.0
+        manager.purge()
+        assert manager.snapshot()["results_held"] == 0
+
+    def test_write_fault_degrades_to_ram_only(self, tmp_path):
+        plan = FaultPlan({"results.write": FaultSpec(times=1)})
+        manager = ResultManager(tmp_path, fault_plan=plan)
+        meta = manager.store(_result(6), page_size=3)
+        assert manager.snapshot()["write_failures"] == 1
+        # No resource file landed, but the RAM copy still serves pages.
+        assert not list(tmp_path.glob("*.json"))
+        _, page = manager.page(meta["result_id"], 1)
+        assert page.num_rows == 3
+        # The next store writes normally again (transient fault).
+        manager.store(_result(), page_size=2)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_read_fault_surfaces_as_unknown_result(self, tmp_path):
+        plan = FaultPlan({"results.read": FaultSpec(times=None)})
+        manager = ResultManager(tmp_path, fault_plan=plan)
+        meta = manager.store(_result(), page_size=2)
+        entry = manager._entries[meta["result_id"]]
+        entry.result = None  # simulate a memory-pressure spill
+        with pytest.raises(UnknownResultError):
+            manager.get(meta["result_id"])
+
+    def test_expired_entry_with_unreadable_file_expires_cleanly(self, tmp_path):
+        clock = [0.0]
+        manager = ResultManager(tmp_path, ttl_s=5.0, clock=lambda: clock[0])
+        meta = manager.store(_result(), page_size=2)
+        # Corrupt the resource on disk, then expire: GC must not care
+        # what the bytes look like.
+        manager._path(meta["result_id"]).write_text("not json")
+        clock[0] = 50.0
+        manager.purge()
+        assert manager.snapshot()["results_held"] == 0
+        assert manager.snapshot()["expired"] == 1
+
+
+# ---------------------------------------------------------------------------
+# client retry layer
+# ---------------------------------------------------------------------------
+
+
+class TestClientRetries:
+    def test_503_is_retried_and_counted(self, server_factory, small_csv):
+        server = server_factory()
+        server.engine.attach("r", small_csv)
+        with server._active_cv:
+            server._draining = True
+        remote = RemoteConnection(
+            server.url, max_retries=2, backoff_s=0.001, retry_after_cap_s=0.01
+        )
+        with pytest.raises(DrainingError):
+            remote.execute("select count(*) from r")
+        assert remote.client_retries == 2
+        assert remote.counters() == {"client_retries": 2}
+
+    def test_retry_succeeds_when_the_condition_clears(
+        self, server_factory, small_csv
+    ):
+        server = server_factory()
+        server.engine.attach("r", small_csv)
+        with server._active_cv:
+            server._draining = True
+        remote = RemoteConnection(
+            server.url, max_retries=3, backoff_s=0.001, retry_after_cap_s=0.2
+        )
+
+        def undrain():
+            with server._active_cv:
+                server._draining = False
+
+        clearer = threading.Timer(0.05, undrain)
+        clearer.start()
+        try:
+            assert remote.execute("select count(*) from r").rows() == [(500,)]
+        finally:
+            clearer.cancel()
+        assert remote.client_retries >= 1
+
+    def test_delete_is_never_retried(self, server_factory, small_csv):
+        server = server_factory()
+        server.engine.attach("r", small_csv)
+        with server._active_cv:
+            server._draining = True
+        remote = RemoteConnection(
+            server.url, max_retries=3, backoff_s=0.001, retry_after_cap_s=0.01
+        )
+        with pytest.raises(DrainingError):
+            remote.detach("r")
+        assert remote.client_retries == 0
+        with server._active_cv:
+            server._draining = False
+
+    def test_connection_errors_retry_only_gets(self, server_factory, small_csv):
+        server = server_factory()
+        server.engine.attach("r", small_csv)
+        url = server.url
+        server.close()  # connections now refused
+        get_conn = RemoteConnection(url, max_retries=2, backoff_s=0.001)
+        with pytest.raises((urllib.error.URLError, ConnectionError)):
+            get_conn.health()
+        assert get_conn.client_retries == 2
+        post_conn = RemoteConnection(url, max_retries=2, backoff_s=0.001)
+        with pytest.raises((urllib.error.URLError, ConnectionError)):
+            post_conn.execute("select 1 from r")
+        assert post_conn.client_retries == 0
+
+    def test_retry_after_hint_is_capped(self):
+        conn = RemoteConnection(
+            "http://127.0.0.1:1", backoff_s=0.25, retry_after_cap_s=0.5
+        )
+        # An absurd server hint is capped; jitter keeps it in [cap/2, cap].
+        delay = conn._retry_delay(0, hint=3600.0)
+        assert 0.25 <= delay <= 0.5
+        # No hint: exponential backoff from backoff_s.
+        assert conn._retry_delay(0, hint=None) <= 0.25
+        assert conn._retry_delay(3, hint=None) <= conn.max_backoff_s
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            RemoteConnection("http://h", max_retries=-1)
+        with pytest.raises(ValueError):
+            RemoteConnection("http://h", backoff_s=-0.1)
+
+    def test_injected_fault_type_never_escapes_to_clients(
+        self, server_factory, small_csv
+    ):
+        # Clients see taxonomy errors, not the injection mechanism.
+        plan = FaultPlan({"server.request": FaultSpec(times=1)})
+        server = server_factory(EngineConfig(fault_plan=plan))
+        server.engine.attach("r", small_csv)
+        remote = RemoteConnection(server.url, max_retries=0)
+        try:
+            remote.execute("select count(*) from r")
+        except InjectedFault:  # pragma: no cover - the regression
+            pytest.fail("InjectedFault leaked over the wire")
+        except InternalServerError:
+            pass

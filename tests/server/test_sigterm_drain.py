@@ -1,0 +1,106 @@
+"""SIGTERM drains a real ``repro serve`` process gracefully.
+
+Process managers roll servers by sending SIGTERM: the contract is that
+queries in flight when the signal lands still complete, freshly arriving
+work is told to go elsewhere (503 + ``Retry-After`` or a refused
+connection once the listener closes), and the process exits 0.  This
+boots the actual CLI entrypoint in a subprocess — signal disposition,
+the drain thread and the exit path are all the production ones.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+from pathlib import Path
+
+import pytest
+
+from repro.client import RemoteConnection
+from repro.errors import DrainingError
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def serve_process(tmp_path):
+    """A live ``python -m repro serve`` subprocess and its base URL."""
+    csv = tmp_path / "t.csv"
+    csv.write_text(
+        "a,b\n" + "\n".join(f"{i},{i * 3}" for i in range(2000)) + "\n"
+    )
+    # ``-u``: the banner must cross the pipe immediately, not sit in a
+    # block buffer until the process exits.
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", "--port", "0", str(csv)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=dict(os.environ, PYTHONPATH=SRC),
+        cwd=tmp_path,
+    )
+    try:
+        banner = proc.stdout.readline()
+        assert banner.startswith("repro serving on "), banner
+        url = banner.split("repro serving on ", 1)[1].strip()
+        yield proc, url
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+
+
+@pytest.mark.timeout(60)
+def test_sigterm_finishes_inflight_then_exits_zero(serve_process):
+    proc, url = serve_process
+    conn = RemoteConnection(url, max_retries=0, timeout_s=30)
+    assert conn.execute("select count(*) from t").rows() == [(2000,)]
+
+    # Launch a burst of queries, SIGTERM mid-burst.  Every query must
+    # either return the *correct* answer or be told to retry elsewhere —
+    # silent drops and wrong answers are both failures.
+    answers: list = []
+    rejected: list = []
+
+    def run_one(i):
+        try:
+            rows = RemoteConnection(url, max_retries=0, timeout_s=30).execute(
+                "select sum(a), count(*) from t"
+            ).rows()
+            answers.append(rows)
+        except DrainingError as exc:
+            assert exc.http_status == 503
+            rejected.append(exc)
+        except (urllib.error.URLError, ConnectionError):
+            rejected.append("refused")  # listener already closed
+
+    threads = [
+        threading.Thread(target=run_one, args=(i,), daemon=True)
+        for i in range(6)
+    ]
+    for t in threads[:3]:
+        t.start()
+    time.sleep(0.05)  # let the first wave get in flight
+    proc.send_signal(signal.SIGTERM)
+    for t in threads[3:]:
+        t.start()
+    for t in threads:
+        t.join(timeout=45)
+
+    returncode = proc.wait(timeout=45)
+    stdout = proc.stdout.read()
+    assert returncode == 0
+    assert "draining (SIGTERM)" in stdout
+    # No wrong answers, no silent drops: every thread resolved one way
+    # or the other, and everything answered is exactly right.
+    assert len(answers) + len(rejected) == 6
+    want = [(sum(range(2000)), 2000)]
+    assert all(rows == want for rows in answers)
+    # The process was genuinely loaded when the signal landed: the
+    # first wave was in flight and still came back correct.
+    assert len(answers) >= 1

@@ -66,8 +66,10 @@ EXPECTED_CODES = {
     "format_detection": 422,
     "overloaded": 429,
     "internal": 500,
+    "internal_error": 500,
     "execution": 500,
     "budget_exceeded": 503,
+    "draining": 503,
     "query_timeout": 504,
 }
 
